@@ -1,0 +1,107 @@
+// Command tablegen regenerates Table I of the paper: for every benchmark
+// circuit it runs the three flows (script.delay, script.delay + retiming +
+// combinational optimization, script.delay + resynthesis) and prints the
+// register count, clock period and mapped area of each, verifying every
+// flow output against the source circuit.
+//
+// Usage:
+//
+//	tablegen [-circuits ex2,bbtas,...] [-verify] [-timeout-large]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/bench"
+	"repro/internal/flows"
+	"repro/internal/genlib"
+)
+
+func main() {
+	circuitsFlag := flag.String("circuits", "", "comma-separated circuit names (default: all of Table I)")
+	verify := flag.Bool("verify", true, "verify every flow output against the source circuit")
+	skipLarge := flag.Bool("skip-large", false, "skip circuits with more than 1000 gates")
+	flag.Parse()
+
+	suite := bench.TableI()
+	if *circuitsFlag != "" {
+		var filtered []bench.Circuit
+		for _, name := range strings.Split(*circuitsFlag, ",") {
+			c, ok := bench.ByName(strings.TrimSpace(name))
+			if !ok {
+				fmt.Fprintf(os.Stderr, "unknown circuit %q\n", name)
+				os.Exit(1)
+			}
+			filtered = append(filtered, c)
+		}
+		suite = filtered
+	}
+
+	lib := genlib.Lib2()
+	fmt.Println("TABLE I — Experimental results: applying the resynthesis algorithm")
+	fmt.Println("(substrate differs from the paper's SIS/lib2 testbed; compare shapes, not absolutes)")
+	fmt.Println()
+	fmt.Printf("%-8s | %-22s | %-30s | %-30s\n", "", "script.delay", "+ retiming + comb.opt", "+ resynthesis")
+	fmt.Printf("%-8s | %5s %7s %7s | %5s %7s %7s %-8s | %5s %7s %7s %-8s\n",
+		"Circuit", "Reg", "Clk", "Area", "Reg", "Clk", "Area", "note", "Reg", "Clk", "Area", "note")
+	fmt.Println(strings.Repeat("-", 118))
+
+	wins, applicable := 0, 0
+	for _, c := range suite {
+		src, err := c.Build()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%s: build failed: %v\n", c.Name, err)
+			continue
+		}
+		if *skipLarge && src.NumLogicNodes() > 1000 {
+			fmt.Printf("%-8s | skipped (large)\n", c.Name)
+			continue
+		}
+		start := time.Now()
+		sd, ret, rsyn, err := flows.RunAll(src, lib)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%s: flow failed: %v\n", c.Name, err)
+			continue
+		}
+		if *verify {
+			for i, r := range []*flows.Result{sd, ret, rsyn} {
+				if err := flows.Verify(src, r); err != nil {
+					fmt.Fprintf(os.Stderr, "%s: flow %d FAILED VERIFICATION: %v\n", c.Name, i, err)
+					os.Exit(1)
+				}
+			}
+		}
+		fmt.Printf("%-8s | %5d %7.2f %7.0f | %5d %7.2f %7.0f %-8s | %5d %7.2f %7.0f %-8s  [%s]\n",
+			c.Name,
+			sd.Regs, sd.Clk, sd.Area,
+			ret.Regs, ret.Clk, ret.Area, short(ret.Note),
+			rsyn.Regs, rsyn.Clk, rsyn.Area, short(rsyn.Note),
+			time.Since(start).Round(time.Millisecond))
+		if rsyn.Note == "" {
+			applicable++
+			if rsyn.Clk <= ret.Clk {
+				wins++
+			}
+		}
+	}
+	fmt.Println(strings.Repeat("-", 118))
+	fmt.Printf("resynthesis ≤ retiming clock on %d/%d applicable circuits (all outputs verified: %v)\n",
+		wins, applicable, *verify)
+}
+
+func short(s string) string {
+	if s == "" {
+		return ""
+	}
+	if i := strings.Index(s, ":"); i > 0 {
+		s = s[:i]
+	}
+	if len(s) > 8 {
+		s = s[:8]
+	}
+	return s
+}

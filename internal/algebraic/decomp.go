@@ -1,0 +1,158 @@
+package algebraic
+
+import (
+	"sort"
+
+	"repro/internal/logic"
+	"repro/internal/network"
+)
+
+// DecomposeBalanced rewrites every logic node into a network of inverters
+// and two-input AND/OR gates, building delay-balanced trees that combine
+// early-arriving operands first (the speed_up/balance step of a delay
+// script, and the subject-graph preparation for technology mapping).
+func DecomposeBalanced(n *network.Network) error {
+	order, err := n.TopoOrder()
+	if err != nil {
+		return err
+	}
+	arrival := make(map[*network.Node]float64)
+	for _, p := range n.PIs {
+		arrival[p] = 0
+	}
+	for _, l := range n.Latches {
+		arrival[l.Output] = 0
+	}
+	inv := logic.MustParseCover(1, "0")
+	and := logic.MustParseCover(2, "11")
+	or := logic.MustParseCover(2, "1-", "-1")
+	// Shared inverters, one per inverted source, created on demand.
+	invOf := make(map[*network.Node]*network.Node)
+	getInv := func(src *network.Node) *network.Node {
+		if iv, ok := invOf[src]; ok {
+			return iv
+		}
+		iv := n.AddLogic(src.Name+"_not", []*network.Node{src}, inv.Clone())
+		arrival[iv] = arrival[src] + 1
+		invOf[src] = iv
+		return iv
+	}
+	type operand struct {
+		node *network.Node
+		arr  float64
+	}
+	// tree combines operands with the given 2-input function, pairing the
+	// earliest arrivals first (Huffman-style balancing).
+	tree := func(ops []operand, f *logic.Cover) operand {
+		for len(ops) > 1 {
+			sort.SliceStable(ops, func(i, j int) bool { return ops[i].arr < ops[j].arr })
+			a, b := ops[0], ops[1]
+			g := n.AddLogic("", []*network.Node{a.node, b.node}, f.Clone())
+			na := a.arr
+			if b.arr > na {
+				na = b.arr
+			}
+			op := operand{g, na + 1}
+			arrival[g] = op.arr
+			ops = append([]operand{op}, ops[2:]...)
+		}
+		return ops[0]
+	}
+
+	for _, v := range order {
+		if len(v.Func.Cubes) == 0 {
+			// Constant 0: keep as-is (zero-fanin node).
+			if len(v.Fanins) > 0 {
+				n.SetFunction(v, nil, logic.Zero(0))
+			}
+			arrival[v] = 0
+			continue
+		}
+		if v.Func.HasFullCube() {
+			n.SetFunction(v, nil, logic.One(0))
+			arrival[v] = 0
+			continue
+		}
+		// Inverters and buffers pass through unchanged.
+		if isInvOrBuf(v.Func) {
+			a := 0.0
+			for _, fi := range v.Fanins {
+				if arrival[fi] > a {
+					a = arrival[fi]
+				}
+			}
+			arrival[v] = a + 1
+			continue
+		}
+		var cubeRoots []operand
+		for _, c := range v.Func.Cubes {
+			var lits []operand
+			for pin := 0; pin < c.N; pin++ {
+				fi := v.Fanins[pin]
+				switch c.Lit(pin) {
+				case logic.LitPos:
+					lits = append(lits, operand{fi, arrival[fi]})
+				case logic.LitNeg:
+					iv := getInv(fi)
+					lits = append(lits, operand{iv, arrival[iv]})
+				}
+			}
+			if len(lits) == 0 {
+				continue // full cube handled above; defensive
+			}
+			cubeRoots = append(cubeRoots, tree(lits, and))
+		}
+		root := tree(cubeRoots, or)
+		// Splice the decomposition in place of v: keep v as a buffer so
+		// external references (name, PO drivers) stay valid, then let the
+		// simplifier absorb it — or rewire consumers directly.
+		if root.node != v {
+			n.RedirectConsumers(v, root.node)
+			if n.NumFanouts(v) == 0 {
+				n.RemoveDeadNode(v)
+			}
+		}
+		arrival[root.node] = root.arr
+	}
+	n.Sweep()
+	return nil
+}
+
+// isInvOrBuf reports whether a cover is a single-literal function (the
+// only shapes the decomposition leaves untouched; everything else becomes
+// AND2/OR2/INV so the mapper's base case always matches).
+func isInvOrBuf(f *logic.Cover) bool {
+	return len(f.Cubes) == 1 && f.Cubes[0].CountLits() == 1
+}
+
+// OptimizeDelay is the technology-independent delay script used by all
+// three evaluation flows before mapping: sweep, simplify, eliminate small
+// nodes, extract common divisors, then decompose into balanced two-input
+// trees (the script.delay analogue).
+func OptimizeDelay(n *network.Network) error {
+	n.Sweep()
+	n.TrimAllFanins()
+	SimplifyNodes(n)
+	Eliminate(n, 0)
+	SimplifyNodes(n)
+	ExtractKernels(n, 64)
+	SimplifyNodes(n)
+	if err := DecomposeBalanced(n); err != nil {
+		return err
+	}
+	n.Sweep()
+	return n.Check()
+}
+
+// OptimizeArea is a lighter area-oriented cleanup (used after local
+// resynthesis steps): simplify + eliminate + extract, no decomposition.
+func OptimizeArea(n *network.Network) error {
+	n.Sweep()
+	n.TrimAllFanins()
+	SimplifyNodes(n)
+	Eliminate(n, 0)
+	ExtractKernels(n, 64)
+	SimplifyNodes(n)
+	n.Sweep()
+	return n.Check()
+}

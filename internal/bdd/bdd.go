@@ -1,0 +1,461 @@
+// Package bdd implements reduced ordered binary decision diagrams with a
+// unique table and computed-table caching. It is the substrate for implicit
+// state enumeration (internal/reach) and product-machine sequential
+// equivalence checking (internal/seqverify) — the machinery the paper's
+// baseline flow uses to extract unreachable-state don't cares, and that the
+// paper pointedly avoids needing for its own DCret computation.
+package bdd
+
+import (
+	"fmt"
+
+	"repro/internal/logic"
+)
+
+// Ref is a node reference. 0 and 1 are the terminal constants.
+type Ref int32
+
+const (
+	// False is the constant-0 BDD.
+	False Ref = 0
+	// True is the constant-1 BDD.
+	True Ref = 1
+)
+
+type node struct {
+	level  int32 // variable index; terminals use a sentinel level
+	lo, hi Ref
+}
+
+type triple struct {
+	level  int32
+	lo, hi Ref
+}
+
+type opKey struct {
+	op      byte
+	f, g, h Ref
+}
+
+const (
+	opIte byte = iota
+	opExists
+	opAndExists
+	opPermute
+)
+
+// Manager owns the node pool and caches. NumVars is fixed at construction.
+type Manager struct {
+	numVars int
+	nodes   []node
+	unique  map[triple]Ref
+	cache   map[opKey]Ref
+	// quantCube/permID tag the cache entries of parameterized ops.
+	quantTag Ref
+	permTag  int
+	perms    [][]int
+	// MaxNodes optionally bounds growth; Ite panics with ErrNodeLimit
+	// beyond it (callers recover to fall back gracefully).
+	MaxNodes int
+}
+
+// ErrNodeLimit is the panic value raised when MaxNodes is exceeded.
+var ErrNodeLimit = fmt.Errorf("bdd: node limit exceeded")
+
+const terminalLevel = int32(1) << 30
+
+// New creates a manager for n variables.
+func New(n int) *Manager {
+	m := &Manager{
+		numVars: n,
+		unique:  make(map[triple]Ref),
+		cache:   make(map[opKey]Ref),
+	}
+	m.nodes = append(m.nodes,
+		node{level: terminalLevel}, // False
+		node{level: terminalLevel}, // True
+	)
+	return m
+}
+
+// NumVars returns the variable count.
+func (m *Manager) NumVars() int { return m.numVars }
+
+// Size returns the number of live nodes (including terminals).
+func (m *Manager) Size() int { return len(m.nodes) }
+
+func (m *Manager) mk(level int32, lo, hi Ref) Ref {
+	if lo == hi {
+		return lo
+	}
+	k := triple{level, lo, hi}
+	if r, ok := m.unique[k]; ok {
+		return r
+	}
+	if m.MaxNodes > 0 && len(m.nodes) >= m.MaxNodes {
+		panic(ErrNodeLimit)
+	}
+	r := Ref(len(m.nodes))
+	m.nodes = append(m.nodes, node{level: level, lo: lo, hi: hi})
+	m.unique[k] = r
+	return r
+}
+
+// Var returns the BDD of variable v.
+func (m *Manager) Var(v int) Ref {
+	if v < 0 || v >= m.numVars {
+		panic(fmt.Sprintf("bdd: variable %d out of range", v))
+	}
+	return m.mk(int32(v), False, True)
+}
+
+// NVar returns the BDD of ¬v.
+func (m *Manager) NVar(v int) Ref {
+	return m.mk(int32(v), True, False)
+}
+
+func (m *Manager) level(f Ref) int32 { return m.nodes[f].level }
+
+// Ite computes if-then-else(f, g, h), the universal connective.
+func (m *Manager) Ite(f, g, h Ref) Ref {
+	// Terminal cases.
+	switch {
+	case f == True:
+		return g
+	case f == False:
+		return h
+	case g == h:
+		return g
+	case g == True && h == False:
+		return f
+	}
+	k := opKey{opIte, f, g, h}
+	if r, ok := m.cache[k]; ok {
+		return r
+	}
+	top := m.level(f)
+	if l := m.level(g); l < top {
+		top = l
+	}
+	if l := m.level(h); l < top {
+		top = l
+	}
+	f0, f1 := m.cofs(f, top)
+	g0, g1 := m.cofs(g, top)
+	h0, h1 := m.cofs(h, top)
+	lo := m.Ite(f0, g0, h0)
+	hi := m.Ite(f1, g1, h1)
+	r := m.mk(top, lo, hi)
+	m.cache[k] = r
+	return r
+}
+
+func (m *Manager) cofs(f Ref, level int32) (lo, hi Ref) {
+	n := m.nodes[f]
+	if n.level != level {
+		return f, f
+	}
+	return n.lo, n.hi
+}
+
+// And computes f ∧ g.
+func (m *Manager) And(f, g Ref) Ref { return m.Ite(f, g, False) }
+
+// Or computes f ∨ g.
+func (m *Manager) Or(f, g Ref) Ref { return m.Ite(f, True, g) }
+
+// Not computes ¬f.
+func (m *Manager) Not(f Ref) Ref { return m.Ite(f, False, True) }
+
+// Xor computes f ⊕ g.
+func (m *Manager) Xor(f, g Ref) Ref { return m.Ite(f, m.Not(g), g) }
+
+// Xnor computes f ↔ g.
+func (m *Manager) Xnor(f, g Ref) Ref { return m.Ite(f, g, m.Not(g)) }
+
+// Implies computes f → g.
+func (m *Manager) Implies(f, g Ref) Ref { return m.Ite(f, g, True) }
+
+// AndN folds And over refs (True for none).
+func (m *Manager) AndN(fs ...Ref) Ref {
+	r := True
+	for _, f := range fs {
+		r = m.And(r, f)
+	}
+	return r
+}
+
+// OrN folds Or over refs (False for none).
+func (m *Manager) OrN(fs ...Ref) Ref {
+	r := False
+	for _, f := range fs {
+		r = m.Or(r, f)
+	}
+	return r
+}
+
+// Exists existentially quantifies the variables marked true in vars.
+func (m *Manager) Exists(f Ref, vars []bool) Ref {
+	cube := m.varsCube(vars)
+	return m.exists(f, cube)
+}
+
+// varsCube builds a positive cube over the marked variables, used as the
+// quantification schedule and as a cache tag.
+func (m *Manager) varsCube(vars []bool) Ref {
+	cube := True
+	for v := m.numVars - 1; v >= 0; v-- {
+		if v < len(vars) && vars[v] {
+			cube = m.mk(int32(v), False, cube)
+		}
+	}
+	return cube
+}
+
+func (m *Manager) exists(f, cube Ref) Ref {
+	if f == True || f == False || cube == True {
+		return f
+	}
+	k := opKey{opExists, f, cube, 0}
+	if r, ok := m.cache[k]; ok {
+		return r
+	}
+	fl := m.level(f)
+	// Skip cube vars above f's top.
+	c := cube
+	for m.level(c) < fl {
+		c = m.nodes[c].hi
+	}
+	if c == True {
+		m.cache[k] = f
+		return f
+	}
+	n := m.nodes[f]
+	var r Ref
+	if m.level(c) == fl {
+		// Quantify this variable: OR of cofactors.
+		lo := m.exists(n.lo, m.nodes[c].hi)
+		hi := m.exists(n.hi, m.nodes[c].hi)
+		r = m.Or(lo, hi)
+	} else {
+		lo := m.exists(n.lo, c)
+		hi := m.exists(n.hi, c)
+		r = m.mk(fl, lo, hi)
+	}
+	m.cache[k] = r
+	return r
+}
+
+// AndExists computes ∃vars (f ∧ g) without building the full conjunction —
+// the relational-product kernel of image computation.
+func (m *Manager) AndExists(f, g Ref, vars []bool) Ref {
+	cube := m.varsCube(vars)
+	return m.andExists(f, g, cube)
+}
+
+func (m *Manager) andExists(f, g, cube Ref) Ref {
+	if f == False || g == False {
+		return False
+	}
+	if f == True && g == True {
+		return True
+	}
+	if cube == True {
+		return m.And(f, g)
+	}
+	if f == True {
+		return m.exists(g, cube)
+	}
+	if g == True {
+		return m.exists(f, cube)
+	}
+	if f == g {
+		return m.exists(f, cube)
+	}
+	k := opKey{opAndExists, f, g, cube}
+	if r, ok := m.cache[k]; ok {
+		return r
+	}
+	top := m.level(f)
+	if l := m.level(g); l < top {
+		top = l
+	}
+	c := cube
+	for m.level(c) < top {
+		c = m.nodes[c].hi
+	}
+	f0, f1 := m.cofs(f, top)
+	g0, g1 := m.cofs(g, top)
+	var r Ref
+	if c != True && m.level(c) == top {
+		lo := m.andExists(f0, g0, m.nodes[c].hi)
+		hi := m.andExists(f1, g1, m.nodes[c].hi)
+		r = m.Or(lo, hi)
+	} else {
+		lo := m.andExists(f0, g0, c)
+		hi := m.andExists(f1, g1, c)
+		r = m.mk(top, lo, hi)
+	}
+	m.cache[k] = r
+	return r
+}
+
+// Permute renames variables: variable v becomes perm[v]. Identity entries
+// may be omitted by passing perm[v] == v.
+func (m *Manager) Permute(f Ref, perm []int) Ref {
+	if len(perm) != m.numVars {
+		p := make([]int, m.numVars)
+		for i := range p {
+			p[i] = i
+		}
+		copy(p, perm)
+		perm = p
+	}
+	m.perms = append(m.perms, perm)
+	tag := Ref(len(m.perms) - 1)
+	return m.permute(f, perm, tag)
+}
+
+func (m *Manager) permute(f Ref, perm []int, tag Ref) Ref {
+	if f == True || f == False {
+		return f
+	}
+	k := opKey{opPermute, f, tag, 0}
+	if r, ok := m.cache[k]; ok {
+		return r
+	}
+	n := m.nodes[f]
+	lo := m.permute(n.lo, perm, tag)
+	hi := m.permute(n.hi, perm, tag)
+	v := perm[n.level]
+	r := m.Ite(m.Var(v), hi, lo)
+	m.cache[k] = r
+	return r
+}
+
+// Eval evaluates f under a complete assignment.
+func (m *Manager) Eval(f Ref, assign []bool) bool {
+	for f != True && f != False {
+		n := m.nodes[f]
+		if assign[n.level] {
+			f = n.hi
+		} else {
+			f = n.lo
+		}
+	}
+	return f == True
+}
+
+// SatCount returns the number of satisfying assignments over all NumVars
+// variables as a float64 (adequate for reporting reachable-state counts).
+func (m *Manager) SatCount(f Ref) float64 {
+	memo := make(map[Ref]float64)
+	var count func(f Ref, level int32) float64
+	count = func(f Ref, level int32) float64 {
+		if f == False {
+			return 0
+		}
+		fl := m.level(f)
+		if f == True {
+			fl = int32(m.numVars)
+		}
+		gap := 1.0 // multiplier for the variables skipped above f
+		for i := level; i < fl; i++ {
+			gap *= 2
+		}
+		if f == True {
+			return gap
+		}
+		var sub float64
+		if v, ok := memo[f]; ok {
+			sub = v
+		} else {
+			n := m.nodes[f]
+			sub = count(n.lo, fl+1) + count(n.hi, fl+1)
+			memo[f] = sub
+		}
+		return gap * sub
+	}
+	return count(f, 0)
+}
+
+// PickCube returns one satisfying assignment of f (nil if f is False).
+// Unconstrained variables are reported as logic.LitBoth.
+func (m *Manager) PickCube(f Ref) []logic.Lit {
+	if f == False {
+		return nil
+	}
+	out := make([]logic.Lit, m.numVars)
+	for i := range out {
+		out[i] = logic.LitBoth
+	}
+	for f != True {
+		n := m.nodes[f]
+		if n.hi != False {
+			out[n.level] = logic.LitPos
+			f = n.hi
+		} else {
+			out[n.level] = logic.LitNeg
+			f = n.lo
+		}
+	}
+	return out
+}
+
+// FromCover builds the BDD of a SOP cover; cover variable i maps to manager
+// variable varMap[i] (identity when varMap is nil).
+func (m *Manager) FromCover(f *logic.Cover, varMap []int) Ref {
+	r := False
+	for _, c := range f.Cubes {
+		cube := True
+		for v := 0; v < c.N; v++ {
+			mv := v
+			if varMap != nil {
+				mv = varMap[v]
+			}
+			switch c.Lit(v) {
+			case logic.LitPos:
+				cube = m.And(cube, m.Var(mv))
+			case logic.LitNeg:
+				cube = m.And(cube, m.NVar(mv))
+			case logic.LitNone:
+				cube = False
+			}
+		}
+		r = m.Or(r, cube)
+	}
+	return r
+}
+
+// ToCover converts a BDD back into a (possibly non-minimal) SOP cover by
+// path enumeration. Intended for don't-care extraction on small supports.
+func (m *Manager) ToCover(f Ref, n int) *logic.Cover {
+	out := logic.NewCover(n)
+	cur := logic.NewCube(n)
+	var walk func(f Ref, c logic.Cube)
+	walk = func(f Ref, c logic.Cube) {
+		if f == False {
+			return
+		}
+		if f == True {
+			out.Add(c.Clone())
+			return
+		}
+		nd := m.nodes[f]
+		lo := c.Clone()
+		lo.SetLit(int(nd.level), logic.LitNeg)
+		walk(nd.lo, lo)
+		hi := c.Clone()
+		hi.SetLit(int(nd.level), logic.LitPos)
+		walk(nd.hi, hi)
+	}
+	walk(f, cur)
+	return out
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,348 @@
+// Package blif reads and writes the Berkeley Logic Interchange Format
+// subset used by SIS-era tools: .model/.inputs/.outputs/.latch/.names/.end.
+// Single-output .names tables with on-set ("1") or off-set ("0") rows are
+// supported, as are 3- and 5-token .latch lines with initial values 0/1/2/3.
+package blif
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strings"
+
+	"repro/internal/logic"
+	"repro/internal/network"
+)
+
+type namesEntry struct {
+	inputs []string
+	output string
+	rows   []row
+	line   int
+}
+
+type row struct {
+	cube string
+	out  byte
+}
+
+type latchEntry struct {
+	input, output string
+	init          network.Value
+	line          int
+}
+
+// Read parses a BLIF model into a network.
+func Read(r io.Reader) (*network.Network, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1024*1024), 16*1024*1024)
+
+	var (
+		modelName string
+		inputs    []string
+		outputs   []string
+		names     []*namesEntry
+		latches   []latchEntry
+		cur       *namesEntry
+		lineNo    int
+	)
+	nextLine := func() (string, bool) {
+		for sc.Scan() {
+			lineNo++
+			line := sc.Text()
+			if i := strings.Index(line, "#"); i >= 0 {
+				line = line[:i]
+			}
+			line = strings.TrimSpace(line)
+			if line == "" {
+				continue
+			}
+			for strings.HasSuffix(line, "\\") {
+				line = strings.TrimSuffix(line, "\\")
+				if !sc.Scan() {
+					break
+				}
+				lineNo++
+				cont := sc.Text()
+				if i := strings.Index(cont, "#"); i >= 0 {
+					cont = cont[:i]
+				}
+				line += " " + strings.TrimSpace(cont)
+			}
+			return line, true
+		}
+		return "", false
+	}
+
+	for {
+		line, ok := nextLine()
+		if !ok {
+			break
+		}
+		fields := strings.Fields(line)
+		switch {
+		case strings.HasPrefix(line, ".model"):
+			if len(fields) > 1 {
+				modelName = fields[1]
+			}
+			cur = nil
+		case strings.HasPrefix(line, ".inputs"):
+			inputs = append(inputs, fields[1:]...)
+			cur = nil
+		case strings.HasPrefix(line, ".outputs"):
+			outputs = append(outputs, fields[1:]...)
+			cur = nil
+		case strings.HasPrefix(line, ".latch"):
+			cur = nil
+			le := latchEntry{line: lineNo, init: network.VX}
+			switch len(fields) {
+			case 3:
+				le.input, le.output = fields[1], fields[2]
+			case 4:
+				le.input, le.output = fields[1], fields[2]
+				le.init = parseInit(fields[3])
+			case 6:
+				le.input, le.output = fields[1], fields[2]
+				le.init = parseInit(fields[5])
+			case 5:
+				// type + control, no init
+				le.input, le.output = fields[1], fields[2]
+			default:
+				return nil, fmt.Errorf("blif:%d: malformed .latch", lineNo)
+			}
+			latches = append(latches, le)
+		case strings.HasPrefix(line, ".names"):
+			cur = &namesEntry{line: lineNo}
+			sig := fields[1:]
+			if len(sig) == 0 {
+				return nil, fmt.Errorf("blif:%d: .names without signals", lineNo)
+			}
+			cur.output = sig[len(sig)-1]
+			cur.inputs = sig[:len(sig)-1]
+			names = append(names, cur)
+		case strings.HasPrefix(line, ".end"):
+			cur = nil
+		case strings.HasPrefix(line, "."):
+			// Unsupported directive (.exdc, .clock, …): ignore gracefully.
+			cur = nil
+		default:
+			if cur == nil {
+				return nil, fmt.Errorf("blif:%d: table row outside .names", lineNo)
+			}
+			if len(cur.inputs) == 0 {
+				if len(fields) != 1 || (fields[0] != "1" && fields[0] != "0") {
+					return nil, fmt.Errorf("blif:%d: malformed constant row %q", lineNo, line)
+				}
+				cur.rows = append(cur.rows, row{cube: "", out: fields[0][0]})
+				continue
+			}
+			if len(fields) != 2 {
+				return nil, fmt.Errorf("blif:%d: malformed table row %q", lineNo, line)
+			}
+			if len(fields[0]) != len(cur.inputs) {
+				return nil, fmt.Errorf("blif:%d: cube width %d for %d inputs",
+					lineNo, len(fields[0]), len(cur.inputs))
+			}
+			cur.rows = append(cur.rows, row{cube: fields[0], out: fields[1][0]})
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+
+	return assemble(modelName, inputs, outputs, names, latches)
+}
+
+func parseInit(s string) network.Value {
+	switch s {
+	case "0":
+		return network.V0
+	case "1":
+		return network.V1
+	default:
+		return network.VX
+	}
+}
+
+func assemble(modelName string, inputs, outputs []string, names []*namesEntry, latches []latchEntry) (*network.Network, error) {
+	n := network.New(modelName)
+	sig := make(map[string]*network.Node)
+	for _, in := range inputs {
+		if _, dup := sig[in]; dup {
+			return nil, fmt.Errorf("blif: duplicate input %q", in)
+		}
+		sig[in] = n.AddPI(in)
+	}
+	type pendingLatch struct {
+		latch *network.Latch
+		input string
+	}
+	var pend []pendingLatch
+	for _, le := range latches {
+		if _, dup := sig[le.output]; dup {
+			return nil, fmt.Errorf("blif: latch output %q already defined", le.output)
+		}
+		l := n.AddLatch(le.output, nil, le.init)
+		sig[le.output] = l.Output
+		pend = append(pend, pendingLatch{l, le.input})
+	}
+	// Build .names bodies in dependency order.
+	remaining := make([]*namesEntry, len(names))
+	copy(remaining, names)
+	defined := make(map[string]bool)
+	for s := range sig {
+		defined[s] = true
+	}
+	for len(remaining) > 0 {
+		progress := false
+		var next []*namesEntry
+		for _, e := range remaining {
+			ready := true
+			for _, in := range e.inputs {
+				if !defined[in] {
+					ready = false
+					break
+				}
+			}
+			if !ready {
+				next = append(next, e)
+				continue
+			}
+			node, err := buildNames(n, sig, e)
+			if err != nil {
+				return nil, err
+			}
+			if _, dup := sig[e.output]; dup {
+				return nil, fmt.Errorf("blif:%d: signal %q multiply defined", e.line, e.output)
+			}
+			sig[e.output] = node
+			defined[e.output] = true
+			progress = true
+		}
+		remaining = next
+		if !progress {
+			return nil, fmt.Errorf("blif: unresolved or cyclic definitions (%d tables left, first output %q)",
+				len(remaining), remaining[0].output)
+		}
+	}
+	for _, p := range pend {
+		d, ok := sig[p.input]
+		if !ok {
+			return nil, fmt.Errorf("blif: latch input %q undefined", p.input)
+		}
+		p.latch.Driver = d
+	}
+	for _, out := range outputs {
+		d, ok := sig[out]
+		if !ok {
+			return nil, fmt.Errorf("blif: output %q undefined", out)
+		}
+		n.AddPO(out, d)
+	}
+	if err := n.Check(); err != nil {
+		return nil, fmt.Errorf("blif: assembled network invalid: %w", err)
+	}
+	return n, nil
+}
+
+func buildNames(n *network.Network, sig map[string]*network.Node, e *namesEntry) (*network.Node, error) {
+	fanins := make([]*network.Node, len(e.inputs))
+	for i, in := range e.inputs {
+		fanins[i] = sig[in]
+	}
+	on := logic.NewCover(len(e.inputs))
+	off := logic.NewCover(len(e.inputs))
+	sawOn, sawOff := false, false
+	for _, r := range e.rows {
+		c, err := logic.ParseCube(padCube(r.cube, len(e.inputs)))
+		if err != nil {
+			return nil, fmt.Errorf("blif:%d: %v", e.line, err)
+		}
+		switch r.out {
+		case '1':
+			on.Add(c)
+			sawOn = true
+		case '0':
+			off.Add(c)
+			sawOff = true
+		default:
+			return nil, fmt.Errorf("blif:%d: output value %q unsupported", e.line, r.out)
+		}
+	}
+	if sawOn && sawOff {
+		return nil, fmt.Errorf("blif:%d: mixed on-set and off-set rows", e.line)
+	}
+	f := on
+	if sawOff {
+		f = off.Complement()
+	}
+	// No rows at all: constant 0 (SIS convention).
+	return n.AddLogic(e.output, fanins, f), nil
+}
+
+func padCube(c string, n int) string {
+	if len(c) == n {
+		return c
+	}
+	return c + strings.Repeat("-", n-len(c))
+}
+
+// Write emits the network as BLIF. Logic nodes are written in topological
+// order; primary outputs whose name differs from their driver get a buffer.
+func Write(w io.Writer, n *network.Network) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, ".model %s\n", n.Name)
+	fmt.Fprint(bw, ".inputs")
+	for _, p := range n.PIs {
+		fmt.Fprintf(bw, " %s", p.Name)
+	}
+	fmt.Fprintln(bw)
+	fmt.Fprint(bw, ".outputs")
+	for _, p := range n.POs {
+		fmt.Fprintf(bw, " %s", p.Name)
+	}
+	fmt.Fprintln(bw)
+	for _, l := range n.Latches {
+		init := "3"
+		switch l.Init {
+		case network.V0:
+			init = "0"
+		case network.V1:
+			init = "1"
+		}
+		fmt.Fprintf(bw, ".latch %s %s %s\n", l.Driver.Name, l.Output.Name, init)
+	}
+	order, err := n.TopoOrder()
+	if err != nil {
+		return err
+	}
+	for _, v := range order {
+		fmt.Fprint(bw, ".names")
+		for _, fi := range v.Fanins {
+			fmt.Fprintf(bw, " %s", fi.Name)
+		}
+		fmt.Fprintf(bw, " %s\n", v.Name)
+		if len(v.Fanins) == 0 {
+			if !v.Func.IsZeroFunction() {
+				fmt.Fprintln(bw, "1")
+			}
+			continue
+		}
+		for _, c := range v.Func.Cubes {
+			fmt.Fprintf(bw, "%s 1\n", c.String())
+		}
+	}
+	// Buffers for POs whose name differs from the driving signal.
+	for _, p := range n.POs {
+		if p.Name != p.Driver.Name {
+			fmt.Fprintf(bw, ".names %s %s\n1 1\n", p.Driver.Name, p.Name)
+		}
+	}
+	fmt.Fprintln(bw, ".end")
+	return bw.Flush()
+}
+
+// ParseString is a convenience wrapper for tests and embedded circuits.
+func ParseString(s string) (*network.Network, error) {
+	return Read(strings.NewReader(s))
+}

@@ -1,0 +1,150 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/bench"
+	"repro/internal/logic"
+	"repro/internal/network"
+)
+
+// TestCollapseConeMatchesNetworkSemantics: the flattened cover of a cone
+// must agree with node-by-node evaluation of the network on every support
+// assignment, across random circuits.
+func TestCollapseConeMatchesNetworkSemantics(t *testing.T) {
+	opt := Options{}
+	opt.defaults()
+	for seed := int64(1); seed <= 15; seed++ {
+		n := bench.Synthetic(bench.Profile{
+			Name: "c", PIs: 3, POs: 2, FFs: 3, Gates: 10, Seed: seed,
+		})
+		for _, po := range n.POs {
+			root := po.Driver
+			if root.Kind != network.KindLogic {
+				continue
+			}
+			support, f, ok := collapseCone(n, root, opt)
+			if !ok {
+				continue
+			}
+			if len(support) > 10 {
+				continue
+			}
+			// Exhaustive comparison over the support.
+			for mt := 0; mt < 1<<uint(len(support)); mt++ {
+				val := map[*network.Node]bool{}
+				assign := make([]bool, len(support))
+				for i, s := range support {
+					assign[i] = mt&(1<<uint(i)) != 0
+					val[s] = assign[i]
+				}
+				want := evalNode(root, val)
+				if f.Eval(assign) != want {
+					t.Fatalf("seed %d root %s: collapsed cover differs at %b",
+						seed, root.Name, mt)
+				}
+			}
+		}
+	}
+}
+
+// evalNode evaluates a node recursively given source values.
+func evalNode(v *network.Node, val map[*network.Node]bool) bool {
+	if b, ok := val[v]; ok {
+		return b
+	}
+	assign := make([]bool, len(v.Fanins))
+	for i, fi := range v.Fanins {
+		assign[i] = evalNode(fi, val)
+	}
+	b := v.Func.Eval(assign)
+	val[v] = b
+	return b
+}
+
+// TestCollapseConeRespectsBounds: tight limits must produce a clean
+// refusal, never a wrong cover.
+func TestCollapseConeRespectsBounds(t *testing.T) {
+	n := bench.Synthetic(bench.Profile{
+		Name: "b", PIs: 6, POs: 1, FFs: 6, Gates: 40, Seed: 5,
+	})
+	tight := Options{MaxConeSupport: 2, MaxConeCubes: 4}
+	tight.defaults()
+	tight.MaxConeSupport = 2
+	tight.MaxConeCubes = 4
+	refused := 0
+	for _, po := range n.POs {
+		if po.Driver.Kind != network.KindLogic {
+			continue
+		}
+		if _, _, ok := collapseCone(n, po.Driver, tight); !ok {
+			refused++
+		}
+	}
+	if refused == 0 {
+		t.Skip("no large cones in this profile (acceptable)")
+	}
+}
+
+// TestConeCost sanity.
+func TestConeCost(t *testing.T) {
+	n := network.New("cc")
+	a := n.AddPI("a")
+	b := n.AddPI("b")
+	g1 := n.AddLogic("g1", []*network.Node{a, b}, logic.MustParseCover(2, "11"))
+	g2 := n.AddLogic("g2", []*network.Node{g1, a}, logic.MustParseCover(2, "1-", "-1"))
+	n.AddPO("y", g2)
+	if got := coneCost(n, g2); got != 4 {
+		t.Fatalf("coneCost = %d, want 4 (2+2 literals)", got)
+	}
+}
+
+// TestSweepDanglingLatchesChains: removing a latch may strand a whole
+// driver chain of latches; the sweep must fix the chain transitively.
+func TestSweepDanglingLatchesChains(t *testing.T) {
+	n := network.New("chain")
+	a := n.AddPI("a")
+	l1 := n.AddLatch("q1", a, network.V0)
+	l2 := n.AddLatch("q2", l1.Output, network.V0)
+	l3 := n.AddLatch("q3", l2.Output, network.V0)
+	_ = l3 // q3 output feeds nothing
+	n.AddPO("y", a)
+	removed := sweepDanglingLatches(n)
+	if removed != 3 {
+		t.Fatalf("removed %d latches, want the whole chain of 3", removed)
+	}
+	if err := n.Check(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestResynthesizeStressMediumCircuits runs Algorithm 1 over a batch of
+// medium random circuits and verifies every applied result.
+func TestResynthesizeStressMediumCircuits(t *testing.T) {
+	if testing.Short() {
+		t.Skip("stress test")
+	}
+	r := rand.New(rand.NewSource(2026))
+	applied := 0
+	for trial := 0; trial < 10; trial++ {
+		n := bench.Synthetic(bench.Profile{
+			Name: "m", PIs: 2 + r.Intn(4), POs: 1 + r.Intn(3),
+			FFs: 3 + r.Intn(5), Gates: 12 + r.Intn(24), Seed: int64(trial) + 500,
+		})
+		res, err := Resynthesize(n, Options{KeepHarm: true})
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if !res.Applied {
+			continue
+		}
+		applied++
+		if err := res.Network.Check(); err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+	}
+	if applied == 0 {
+		t.Fatal("resynthesis never applied across the stress batch")
+	}
+}

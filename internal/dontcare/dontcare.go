@@ -1,0 +1,130 @@
+// Package dontcare maintains retiming-induced state-register equivalence
+// classes and materializes them as don't-care covers (DCret) for two-level
+// simplification — the central bookkeeping of the paper: forward retiming a
+// register across its fanout stem creates registers R1, R2, … that must be
+// equal in all valid operation, so (Ri ⊕ Rj) is a don't-care condition.
+// No reachability computation is needed to obtain these don't cares.
+package dontcare
+
+import (
+	"repro/internal/logic"
+	"repro/internal/network"
+)
+
+// Classes groups registers into retiming-induced equivalence classes.
+type Classes struct {
+	classOf map[*network.Latch]int
+	sets    [][]*network.Latch
+}
+
+// New returns an empty class collection.
+func New() *Classes {
+	return &Classes{classOf: make(map[*network.Latch]int)}
+}
+
+// AddClass registers a new equivalence class (the latches created by one
+// fanout-stem split). Classes with fewer than two members are ignored.
+func (c *Classes) AddClass(latches []*network.Latch) {
+	if len(latches) < 2 {
+		return
+	}
+	id := len(c.sets)
+	c.sets = append(c.sets, append([]*network.Latch(nil), latches...))
+	for _, l := range latches {
+		c.classOf[l] = id
+	}
+}
+
+// NumClasses returns the number of recorded classes.
+func (c *Classes) NumClasses() int { return len(c.sets) }
+
+// Prune drops class members that no longer exist in the network (e.g.
+// consumed by forward retiming across gates).
+func (c *Classes) Prune(n *network.Network) {
+	alive := make(map[*network.Latch]bool, len(n.Latches))
+	for _, l := range n.Latches {
+		alive[l] = true
+	}
+	for id, set := range c.sets {
+		var keep []*network.Latch
+		for _, l := range set {
+			if alive[l] {
+				keep = append(keep, l)
+			} else {
+				delete(c.classOf, l)
+			}
+		}
+		c.sets[id] = keep
+	}
+}
+
+// ClassOfOutput returns the class id of a latch-output node, or -1.
+func (c *Classes) ClassOfOutput(n *network.Network, node *network.Node) int {
+	if node.Kind != network.KindLatchOut {
+		return -1
+	}
+	l := n.LatchOfOutput(node)
+	if l == nil {
+		return -1
+	}
+	if id, ok := c.classOf[l]; ok {
+		return id
+	}
+	return -1
+}
+
+// DCOver builds the DCret cover over an ordered variable list: variable i
+// corresponds to vars[i]. For every pair of variables whose nodes are
+// same-class register outputs, the cubes of (xi ⊕ xj) are added.
+// Returns nil when no pair exists.
+func (c *Classes) DCOver(n *network.Network, vars []*network.Node) *logic.Cover {
+	ids := make([]int, len(vars))
+	any := false
+	for i, v := range vars {
+		ids[i] = c.ClassOfOutput(n, v)
+	}
+	dc := logic.NewCover(len(vars))
+	for i := 0; i < len(vars); i++ {
+		if ids[i] < 0 {
+			continue
+		}
+		for j := i + 1; j < len(vars); j++ {
+			if ids[j] != ids[i] {
+				continue
+			}
+			any = true
+			c1 := logic.NewCube(len(vars))
+			c1.SetLit(i, logic.LitPos)
+			c1.SetLit(j, logic.LitNeg)
+			dc.Add(c1)
+			c2 := logic.NewCube(len(vars))
+			c2.SetLit(i, logic.LitNeg)
+			c2.SetLit(j, logic.LitPos)
+			dc.Add(c2)
+		}
+	}
+	if !any {
+		return nil
+	}
+	return dc
+}
+
+// SimplifyNodeLocal minimizes one node's function against the DCret cubes
+// expressible over its own fanins. Returns true if the node was improved.
+func (c *Classes) SimplifyNodeLocal(n *network.Network, v *network.Node) bool {
+	if v.Kind != network.KindLogic {
+		return false
+	}
+	dc := c.DCOver(n, v.Fanins)
+	if dc == nil {
+		return false
+	}
+	s := logic.Simplify(v.Func, dc)
+	if s.NumLits() < v.Func.NumLits() ||
+		(s.NumLits() == v.Func.NumLits() && len(s.Cubes) < len(v.Func.Cubes)) {
+		n.SetFunction(v, v.Fanins, s)
+		n.TrimFanins(v)
+		return true
+	}
+	return false
+}

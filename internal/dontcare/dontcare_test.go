@@ -1,0 +1,173 @@
+package dontcare
+
+import (
+	"testing"
+
+	"repro/internal/logic"
+	"repro/internal/network"
+)
+
+// rig builds a network with two split register classes:
+// class A = {ra0, ra1} (copies of one register), class B = {rb0, rb1}.
+func rig(t *testing.T) (*network.Network, *Classes, []*network.Node) {
+	t.Helper()
+	n := network.New("rig")
+	a := n.AddPI("a")
+	var outs []*network.Node
+	var classA, classB []*network.Latch
+	for i := 0; i < 2; i++ {
+		l := n.AddLatch("ra"+string(rune('0'+i)), a, network.V0)
+		classA = append(classA, l)
+		outs = append(outs, l.Output)
+	}
+	for i := 0; i < 2; i++ {
+		l := n.AddLatch("rb"+string(rune('0'+i)), a, network.V1)
+		classB = append(classB, l)
+		outs = append(outs, l.Output)
+	}
+	c := New()
+	c.AddClass(classA)
+	c.AddClass(classB)
+	// Keep outputs alive.
+	g := n.AddLogic("g", outs, logic.MustParseCover(4, "1111"))
+	n.AddPO("y", g)
+	return n, c, outs
+}
+
+func TestAddClassIgnoresSingletons(t *testing.T) {
+	c := New()
+	c.AddClass(nil)
+	c.AddClass([]*network.Latch{{}})
+	if c.NumClasses() != 0 {
+		t.Fatal("singleton classes must be ignored")
+	}
+}
+
+func TestClassOfOutput(t *testing.T) {
+	n, c, outs := rig(t)
+	if id := c.ClassOfOutput(n, outs[0]); id != 0 {
+		t.Fatalf("ra0 class = %d", id)
+	}
+	if id := c.ClassOfOutput(n, outs[2]); id != 1 {
+		t.Fatalf("rb0 class = %d", id)
+	}
+	if id := c.ClassOfOutput(n, n.PIs[0]); id != -1 {
+		t.Fatal("PI must have no class")
+	}
+}
+
+func TestDCOverPairsOnlyWithinClass(t *testing.T) {
+	n, c, outs := rig(t)
+	dc := c.DCOver(n, outs)
+	if dc == nil {
+		t.Fatal("expected a DC cover")
+	}
+	// Exactly 2 pairs × 2 cubes each.
+	if len(dc.Cubes) != 4 {
+		t.Fatalf("%d cubes, want 4:\n%v", len(dc.Cubes), dc)
+	}
+	// DC must contain (ra0 ⊕ ra1) but nothing relating ra* to rb*.
+	eval := func(bits ...bool) bool { return dc.Eval(bits) }
+	if !eval(true, false, true, true) { // ra0≠ra1
+		t.Fatal("ra0⊕ra1 must be DC")
+	}
+	if !eval(false, false, true, false) { // rb0≠rb1
+		t.Fatal("rb0⊕rb1 must be DC")
+	}
+	if eval(true, true, false, false) { // classes differ but internally equal
+		t.Fatal("cross-class difference must NOT be DC")
+	}
+}
+
+func TestDCOverNilWithoutPairs(t *testing.T) {
+	n, c, outs := rig(t)
+	// Only one member of each class in the variable list.
+	if dc := c.DCOver(n, []*network.Node{outs[0], outs[2]}); dc != nil {
+		t.Fatalf("no same-class pair, expected nil, got %v", dc)
+	}
+}
+
+func TestPruneDropsConsumed(t *testing.T) {
+	n, c, _ := rig(t)
+	// Remove ra1 from the network (simulating consumption by a forward
+	// move): detach and delete.
+	var ra1 *network.Latch
+	for _, l := range n.Latches {
+		if l.Name == "ra1" {
+			ra1 = l
+		}
+	}
+	g := n.FindNode("g")
+	n.ReplaceFanin(g, ra1.Output, n.PIs[0])
+	n.RemoveLatch(ra1)
+	c.Prune(n)
+	// Class A now has one member: no pairs remain for it.
+	var raOut, rbOuts []*network.Node
+	for _, l := range n.Latches {
+		if l.Name == "ra0" {
+			raOut = append(raOut, l.Output)
+		}
+		if l.Name == "rb0" || l.Name == "rb1" {
+			rbOuts = append(rbOuts, l.Output)
+		}
+	}
+	if dc := c.DCOver(n, raOut); dc != nil {
+		t.Fatal("pruned class must yield no DC")
+	}
+	if dc := c.DCOver(n, rbOuts); dc == nil {
+		t.Fatal("untouched class must still yield DC")
+	}
+}
+
+func TestSimplifyNodeLocal(t *testing.T) {
+	n := network.New("loc")
+	a := n.AddPI("a")
+	l0 := n.AddLatch("r0", a, network.V0)
+	l1 := n.AddLatch("r1", a, network.V0)
+	c := New()
+	c.AddClass([]*network.Latch{l0, l1})
+	// f = r0·r1 + r0'·a — under r0≡r1 this is r0 + r0'a = r0 + a.
+	f := logic.MustParseCover(3, "11-", "0-1")
+	g := n.AddLogic("g", []*network.Node{l0.Output, l1.Output, a}, f)
+	n.AddPO("y", g)
+	if !c.SimplifyNodeLocal(n, g) {
+		t.Fatal("local simplification must fire")
+	}
+	if g.Func.NumLits() > 2 {
+		t.Fatalf("not simplified enough: %v", g.Func)
+	}
+	if err := n.Check(); err != nil {
+		t.Fatal(err)
+	}
+	// Care behaviour (r0 == r1) preserved.
+	for _, r := range []bool{false, true} {
+		for _, av := range []bool{false, true} {
+			assign := make([]bool, len(g.Fanins))
+			for i, fi := range g.Fanins {
+				switch fi {
+				case l0.Output, l1.Output:
+					assign[i] = r
+				default:
+					assign[i] = av
+				}
+			}
+			want := r || av
+			if g.Func.Eval(assign) != want {
+				t.Fatalf("care point r=%v a=%v wrong", r, av)
+			}
+		}
+	}
+}
+
+func TestSimplifyNodeLocalNoPairsNoChange(t *testing.T) {
+	n := network.New("noc")
+	a := n.AddPI("a")
+	l0 := n.AddLatch("r0", a, network.V0)
+	c := New()
+	f := logic.MustParseCover(2, "11")
+	g := n.AddLogic("g", []*network.Node{l0.Output, a}, f)
+	n.AddPO("y", g)
+	if c.SimplifyNodeLocal(n, g) {
+		t.Fatal("no class pairs: must not claim improvement")
+	}
+}

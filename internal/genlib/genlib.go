@@ -1,0 +1,204 @@
+// Package genlib models a SIS-style technology library: gates with SOP
+// functions, areas and pin-to-output delays, plus an embedded lib2-like
+// library whose area/delay magnitudes follow the MCNC lib2.genlib used in
+// the paper's experiments ("mapped using the lib2 technology library").
+package genlib
+
+import (
+	"fmt"
+
+	"repro/internal/logic"
+)
+
+// Gate is one library cell with a single output.
+type Gate struct {
+	Name string
+	Area float64
+	// Func is the gate function over pin variables 0..NumPins-1.
+	Func *logic.Cover
+	// PinDelays holds the pin-to-output propagation delay per input pin.
+	PinDelays []float64
+	// tt is the truth table over the pins (bit m = value on minterm m).
+	tt uint16
+}
+
+// NumPins returns the input count.
+func (g *Gate) NumPins() int { return len(g.PinDelays) }
+
+// TT returns the gate's truth table (2^pins significant bits).
+func (g *Gate) TT() uint16 { return g.tt }
+
+// MaxDelay returns the slowest pin delay.
+func (g *Gate) MaxDelay() float64 {
+	d := 0.0
+	for _, p := range g.PinDelays {
+		if p > d {
+			d = p
+		}
+	}
+	return d
+}
+
+// Bound is the network annotation tying a node to a library gate with a
+// pin permutation: node fanin i drives gate pin PinOf[i].
+type Bound struct {
+	G     *Gate
+	PinOf []int
+}
+
+// GateName implements network.GateRef.
+func (b *Bound) GateName() string { return b.G.Name }
+
+// GateArea implements network.GateRef.
+func (b *Bound) GateArea() float64 { return b.G.Area }
+
+// PinDelay implements network.GateRef.
+func (b *Bound) PinDelay(i int) float64 {
+	if i < len(b.PinOf) {
+		return b.G.PinDelays[b.PinOf[i]]
+	}
+	return b.G.MaxDelay()
+}
+
+// Library is a set of gates indexed for matching.
+type Library struct {
+	Name  string
+	Gates []*Gate
+	// RegisterArea is charged per register when reporting mapped area.
+	RegisterArea float64
+	// byCanon maps (pins, canonical tt) to candidate gates with the
+	// permutation that canonicalizes them.
+	byCanon map[canonKey][]match
+}
+
+type canonKey struct {
+	pins int
+	tt   uint16
+}
+
+type match struct {
+	g *Gate
+	// perm maps canonical variable index -> gate pin.
+	perm []int
+}
+
+// evalTT computes a cover's truth table over n ≤ 4 variables.
+func evalTT(f *logic.Cover, n int) uint16 {
+	var tt uint16
+	assign := make([]bool, n)
+	for m := 0; m < 1<<uint(n); m++ {
+		for v := 0; v < n; v++ {
+			assign[v] = m&(1<<uint(v)) != 0
+		}
+		if f.Eval(assign) {
+			tt |= 1 << uint(m)
+		}
+	}
+	return tt
+}
+
+// permuteTT reorders truth-table variables: new variable i is old
+// variable perm[i].
+func permuteTT(tt uint16, n int, perm []int) uint16 {
+	var out uint16
+	for m := 0; m < 1<<uint(n); m++ {
+		om := 0
+		for i := 0; i < n; i++ {
+			if m&(1<<uint(i)) != 0 {
+				om |= 1 << uint(perm[i])
+			}
+		}
+		if tt&(1<<uint(om)) != 0 {
+			out |= 1 << uint(m)
+		}
+	}
+	return out
+}
+
+func permutations(n int) [][]int {
+	if n == 0 {
+		return [][]int{{}}
+	}
+	var out [][]int
+	var rec func(cur []int, used []bool)
+	rec = func(cur []int, used []bool) {
+		if len(cur) == n {
+			c := make([]int, n)
+			copy(c, cur)
+			out = append(out, c)
+			return
+		}
+		for i := 0; i < n; i++ {
+			if !used[i] {
+				used[i] = true
+				rec(append(cur, i), used)
+				used[i] = false
+			}
+		}
+	}
+	rec(nil, make([]bool, n))
+	return out
+}
+
+// CanonTT returns the minimum truth table over all input permutations and
+// the permutation achieving it (canonical variable -> original variable).
+func CanonTT(tt uint16, n int) (uint16, []int) {
+	best := tt
+	var bestPerm []int
+	for _, p := range permutations(n) {
+		if c := permuteTT(tt, n, p); bestPerm == nil || c < best {
+			best = c
+			bestPerm = p
+		}
+	}
+	return best, bestPerm
+}
+
+// NewLibrary indexes the given gates for matching.
+func NewLibrary(name string, regArea float64, gates []*Gate) (*Library, error) {
+	lib := &Library{Name: name, Gates: gates, RegisterArea: regArea,
+		byCanon: make(map[canonKey][]match)}
+	for _, g := range gates {
+		n := g.NumPins()
+		if n > 4 {
+			return nil, fmt.Errorf("genlib: gate %s has %d pins (max 4)", g.Name, n)
+		}
+		if g.Func.N != n {
+			return nil, fmt.Errorf("genlib: gate %s: %d cover vars for %d pins", g.Name, g.Func.N, n)
+		}
+		g.tt = evalTT(g.Func, n)
+		// Index under every permutation image so lookup is a single probe:
+		// store the canonical form with its canonicalizing permutation.
+		canon, perm := CanonTT(g.tt, n)
+		key := canonKey{n, canon}
+		// perm maps canonical var -> ... permuteTT(tt, perm) semantics:
+		// new var i is old var perm[i]; canonical var i = gate pin perm[i].
+		lib.byCanon[key] = append(lib.byCanon[key], match{g: g, perm: perm})
+	}
+	return lib, nil
+}
+
+// Match returns gates implementing the given truth table over n inputs.
+// Each result's PinFor maps tt-variable index -> gate pin.
+type Match struct {
+	G      *Gate
+	PinFor []int
+}
+
+// Match looks up gates whose function equals tt over n variables, up to
+// input permutation.
+func (lib *Library) Match(tt uint16, n int) []Match {
+	canon, permQ := CanonTT(tt, n)
+	cands := lib.byCanon[canonKey{n, canon}]
+	out := make([]Match, 0, len(cands))
+	for _, c := range cands {
+		// canonical var i corresponds to query var permQ[i] and to gate
+		// pin c.perm[i]; so query var permQ[i] -> pin c.perm[i].
+		pinFor := make([]int, n)
+		for i := 0; i < n; i++ {
+			pinFor[permQ[i]] = c.perm[i]
+		}
+		out = append(out, Match{G: c.g, PinFor: pinFor})
+	}
+	return out
+}

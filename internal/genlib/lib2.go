@@ -1,0 +1,55 @@
+package genlib
+
+import "repro/internal/logic"
+
+// Lib2 returns the embedded lib2-like library. Gate repertoire, area and
+// delay magnitudes follow the MCNC lib2.genlib flavour (inverter/NAND/NOR
+// families fast and small, AND/OR slower, AOI/OAI complex gates, XOR/XNOR
+// expensive). Exact numbers are reconstructions — see DESIGN.md §2 on
+// substitutions — but the relative ordering that drives mapping decisions
+// is preserved.
+func Lib2() *Library {
+	mk := func(name string, area float64, cover *logic.Cover, delays ...float64) *Gate {
+		return &Gate{Name: name, Area: area, Func: cover, PinDelays: delays}
+	}
+	c := logic.MustParseCover
+	gates := []*Gate{
+		mk("zero", 0, logic.Zero(0)),
+		mk("one", 0, logic.One(0)),
+		mk("inv", 1, c(1, "0"), 0.9),
+		mk("buf", 2, c(1, "1"), 1.0),
+
+		mk("nand2", 2, c(2, "0-", "-0"), 1.0, 1.05),
+		mk("nand3", 3, c(3, "0--", "-0-", "--0"), 1.1, 1.15, 1.2),
+		mk("nand4", 4, c(4, "0---", "-0--", "--0-", "---0"), 1.2, 1.25, 1.3, 1.35),
+		mk("nor2", 2, c(2, "00"), 1.1, 1.15),
+		mk("nor3", 3, c(3, "000"), 1.3, 1.35, 1.4),
+		mk("nor4", 4, c(4, "0000"), 1.5, 1.55, 1.6, 1.65),
+
+		mk("and2", 3, c(2, "11"), 1.2, 1.25),
+		mk("and3", 4, c(3, "111"), 1.4, 1.45, 1.5),
+		mk("and4", 5, c(4, "1111"), 1.6, 1.65, 1.7, 1.75),
+		mk("or2", 3, c(2, "1-", "-1"), 1.3, 1.35),
+		mk("or3", 4, c(3, "1--", "-1-", "--1"), 1.6, 1.65, 1.7),
+		mk("or4", 5, c(4, "1---", "-1--", "--1-", "---1"), 1.8, 1.85, 1.9, 1.95),
+
+		// aoi21: (a·b + c)'
+		mk("aoi21", 3, c(3, "0-0", "-00"), 1.2, 1.25, 1.1),
+		// aoi22: (a·b + c·d)'
+		mk("aoi22", 4, c(4, "0-0-", "0--0", "-00-", "-0-0"), 1.3, 1.35, 1.3, 1.35),
+		// oai21: ((a+b)·c)'
+		mk("oai21", 3, c(3, "00-", "--0"), 1.2, 1.25, 1.1),
+		// oai22: ((a+b)·(c+d))'
+		mk("oai22", 4, c(4, "00--", "--00"), 1.3, 1.35, 1.3, 1.35),
+
+		mk("xor2", 5, c(2, "10", "01"), 1.8, 1.85),
+		mk("xnor2", 5, c(2, "11", "00"), 1.8, 1.85),
+		// mux21: s' a + s b (pin order: s, a, b)
+		mk("mux21", 5, c(3, "01-", "1-1"), 1.8, 1.5, 1.55),
+	}
+	lib, err := NewLibrary("lib2", 9, gates)
+	if err != nil {
+		panic(err) // embedded library must be well-formed
+	}
+	return lib
+}

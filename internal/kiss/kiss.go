@@ -1,0 +1,276 @@
+// Package kiss parses KISS2 finite-state-machine descriptions (the MCNC FSM
+// benchmark format) and synthesizes them into gate-level sequential networks
+// via binary or one-hot state encoding. The resulting two-level next-state
+// and output covers are minimized with the transition don't cares before
+// being handed to the multi-level optimizer.
+package kiss
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strings"
+
+	"repro/internal/logic"
+	"repro/internal/network"
+)
+
+// Transition is one KISS2 row: on inputs matching In (a cube string over the
+// FSM inputs), from state From, go to state To and emit Out (a string over
+// {0,1,-} per output).
+type Transition struct {
+	In   string
+	From string
+	To   string
+	Out  string
+}
+
+// FSM is a parsed KISS2 machine.
+type FSM struct {
+	Name        string
+	NumIn       int
+	NumOut      int
+	States      []string // in order of first appearance; States[0] is reset
+	Reset       string
+	Transitions []Transition
+}
+
+// Parse reads a KISS2 description.
+func Parse(r io.Reader, name string) (*FSM, error) {
+	f := &FSM{Name: name}
+	seen := map[string]bool{}
+	addState := func(s string) {
+		if s == "*" || s == "-" { // "any state" rows are expanded later
+			return
+		}
+		if !seen[s] {
+			seen[s] = true
+			f.States = append(f.States, s)
+		}
+	}
+	sc := bufio.NewScanner(r)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if i := strings.Index(line, "#"); i >= 0 {
+			line = strings.TrimSpace(line[:i])
+		}
+		if line == "" {
+			continue
+		}
+		fields := strings.Fields(line)
+		switch fields[0] {
+		case ".i":
+			fmt.Sscanf(fields[1], "%d", &f.NumIn)
+		case ".o":
+			fmt.Sscanf(fields[1], "%d", &f.NumOut)
+		case ".p", ".s":
+			// row/state counts are advisory
+		case ".r":
+			if len(fields) > 1 {
+				f.Reset = fields[1]
+				addState(f.Reset)
+			}
+		case ".e", ".end":
+			// done
+		default:
+			if strings.HasPrefix(fields[0], ".") {
+				continue // ignore unknown directives
+			}
+			if len(fields) != 4 {
+				return nil, fmt.Errorf("kiss:%d: malformed row %q", lineNo, line)
+			}
+			tr := Transition{In: fields[0], From: fields[1], To: fields[2], Out: fields[3]}
+			if len(tr.In) != f.NumIn {
+				return nil, fmt.Errorf("kiss:%d: input cube width %d, expected %d", lineNo, len(tr.In), f.NumIn)
+			}
+			if len(tr.Out) != f.NumOut {
+				return nil, fmt.Errorf("kiss:%d: output width %d, expected %d", lineNo, len(tr.Out), f.NumOut)
+			}
+			addState(tr.From)
+			addState(tr.To)
+			f.Transitions = append(f.Transitions, tr)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if f.Reset == "" && len(f.States) > 0 {
+		f.Reset = f.States[0]
+	}
+	// Put the reset state first so it gets the all-zero code.
+	for i, s := range f.States {
+		if s == f.Reset && i != 0 {
+			f.States[0], f.States[i] = f.States[i], f.States[0]
+			break
+		}
+	}
+	if len(f.States) == 0 {
+		return nil, fmt.Errorf("kiss: machine %s has no states", name)
+	}
+	return f, nil
+}
+
+// ParseString parses an embedded KISS2 description.
+func ParseString(s, name string) (*FSM, error) {
+	return Parse(strings.NewReader(s), name)
+}
+
+// Encoding selects the state-assignment style.
+type Encoding int
+
+const (
+	// Binary uses ceil(log2 |S|) registers with natural codes in state order.
+	Binary Encoding = iota
+	// OneHot uses one register per state; the reset state's register
+	// initializes to 1.
+	OneHot
+)
+
+// NumStateBits returns the register count for the encoding.
+func (f *FSM) NumStateBits(enc Encoding) int {
+	if enc == OneHot {
+		return len(f.States)
+	}
+	b := 0
+	for (1 << uint(b)) < len(f.States) {
+		b++
+	}
+	if b == 0 {
+		b = 1
+	}
+	return b
+}
+
+// Synthesize builds a gate-level network implementing the FSM. Inputs are
+// named in0.. and outputs out0..; state registers are st0.. . Next-state and
+// output functions are two-level covers minimized against the unspecified-
+// transition don't-care set.
+func (f *FSM) Synthesize(enc Encoding) (*network.Network, error) {
+	nb := f.NumStateBits(enc)
+	n := network.New(f.Name)
+	pis := make([]*network.Node, f.NumIn)
+	for i := range pis {
+		pis[i] = n.AddPI(fmt.Sprintf("in%d", i))
+	}
+	latches := make([]*network.Latch, nb)
+	for i := range latches {
+		init := network.V0
+		if enc == OneHot && i == 0 {
+			init = network.V1
+		}
+		latches[i] = n.AddLatch(fmt.Sprintf("st%d", i), nil, init)
+	}
+	// Variable space for the covers: inputs then state bits.
+	nv := f.NumIn + nb
+	stateIdx := make(map[string]int, len(f.States))
+	for i, s := range f.States {
+		stateIdx[s] = i
+	}
+	code := func(si int) []logic.Lit {
+		lits := make([]logic.Lit, nb)
+		for b := 0; b < nb; b++ {
+			if enc == OneHot {
+				if b == si {
+					lits[b] = logic.LitPos
+				} else {
+					lits[b] = logic.LitNeg
+				}
+			} else {
+				if si&(1<<uint(b)) != 0 {
+					lits[b] = logic.LitPos
+				} else {
+					lits[b] = logic.LitNeg
+				}
+			}
+		}
+		return lits
+	}
+	transitionCube := func(tr Transition, fromIdx int) (logic.Cube, error) {
+		c := logic.NewCube(nv)
+		for i, ch := range tr.In {
+			switch ch {
+			case '0':
+				c.SetLit(i, logic.LitNeg)
+			case '1':
+				c.SetLit(i, logic.LitPos)
+			case '-':
+			default:
+				return logic.Cube{}, fmt.Errorf("kiss: bad input char %q", ch)
+			}
+		}
+		for b, l := range code(fromIdx) {
+			c.SetLit(f.NumIn+b, l)
+		}
+		return c, nil
+	}
+
+	nextOn := make([]*logic.Cover, nb)
+	for b := range nextOn {
+		nextOn[b] = logic.NewCover(nv)
+	}
+	outOn := make([]*logic.Cover, f.NumOut)
+	outDC := make([]*logic.Cover, f.NumOut)
+	for o := range outOn {
+		outOn[o] = logic.NewCover(nv)
+		outDC[o] = logic.NewCover(nv)
+	}
+	specified := logic.NewCover(nv)
+
+	for _, tr := range f.Transitions {
+		fromIdxs := []int{}
+		if tr.From == "*" || tr.From == "-" {
+			for i := range f.States {
+				fromIdxs = append(fromIdxs, i)
+			}
+		} else {
+			fromIdxs = append(fromIdxs, stateIdx[tr.From])
+		}
+		for _, fi := range fromIdxs {
+			c, err := transitionCube(tr, fi)
+			if err != nil {
+				return nil, err
+			}
+			specified.Add(c.Clone())
+			toIdx := stateIdx[tr.To]
+			for b, l := range code(toIdx) {
+				if l == logic.LitPos {
+					nextOn[b].Add(c.Clone())
+				}
+			}
+			for o, ch := range tr.Out {
+				switch ch {
+				case '1':
+					outOn[o].Add(c.Clone())
+				case '-':
+					outDC[o].Add(c.Clone())
+				}
+			}
+		}
+	}
+	// Unspecified (input, state) combinations — including unused state
+	// codes in a binary encoding — are don't cares for everything.
+	globalDC := specified.Complement()
+
+	faninNodes := make([]*network.Node, 0, nv)
+	faninNodes = append(faninNodes, pis...)
+	for _, l := range latches {
+		faninNodes = append(faninNodes, l.Output)
+	}
+	for b := 0; b < nb; b++ {
+		fn := logic.Simplify(nextOn[b], globalDC)
+		node := n.AddLogic(fmt.Sprintf("ns%d", b), faninNodes, fn)
+		latches[b].Driver = node
+	}
+	for o := 0; o < f.NumOut; o++ {
+		dc := logic.Or(globalDC, outDC[o])
+		fn := logic.Simplify(outOn[o], dc)
+		node := n.AddLogic(fmt.Sprintf("outf%d", o), faninNodes, fn)
+		n.AddPO(fmt.Sprintf("out%d", o), node)
+	}
+	if err := n.Check(); err != nil {
+		return nil, fmt.Errorf("kiss: synthesized network invalid: %w", err)
+	}
+	return n, nil
+}

@@ -1,0 +1,178 @@
+package logic
+
+import "sort"
+
+// This file implements a heuristic two-level minimizer in the espresso
+// style: EXPAND / IRREDUNDANT / REDUCE iterated to a fixed point of the
+// (cube count, literal count) cost. It is the "simplify with don't cares"
+// primitive the paper relies on: minimizing a node function against the
+// retiming-induced don't-care set DCret.
+
+// cost is the lexicographic minimization objective.
+type cost struct {
+	cubes int
+	lits  int
+}
+
+func (f *Cover) cost() cost { return cost{len(f.Cubes), f.NumLits()} }
+
+func (a cost) less(b cost) bool {
+	if a.cubes != b.cubes {
+		return a.cubes < b.cubes
+	}
+	return a.lits < b.lits
+}
+
+// Simplify returns a heuristically minimal cover equivalent to f modulo the
+// don't-care set dc: the result r satisfies  f ⊆ r ⊆ f + dc.
+// dc may be nil (empty don't-care set). f is not modified.
+func Simplify(f, dc *Cover) *Cover {
+	if dc == nil {
+		dc = Zero(f.N)
+	}
+	if f.N != dc.N {
+		panic("logic: Simplify: on/dc size mismatch")
+	}
+	r := f.Clone()
+	r.Scc()
+	if len(r.Cubes) == 0 {
+		return r
+	}
+	// Quick win: if f + dc is a tautology, the function can be 1.
+	if Or(r, dc).IsTautology() {
+		return One(f.N)
+	}
+	best := r.Clone()
+	for iter := 0; iter < 8; iter++ {
+		expand(r, dc)
+		irredundant(r, dc)
+		c := r.cost()
+		if !c.less(best.cost()) {
+			break
+		}
+		best = r.Clone()
+		reduce(r, dc)
+	}
+	return best
+}
+
+// expand grows each cube of f to a prime of f+dc (with respect to the
+// current cover), removing cubes that become contained in the expansion.
+func expand(f, dc *Cover) {
+	upper := Or(f, dc) // the largest allowed function
+	// Expand larger-literal-count cubes first: they benefit most.
+	sort.SliceStable(f.Cubes, func(i, j int) bool {
+		return f.Cubes[i].CountLits() > f.Cubes[j].CountLits()
+	})
+	covered := make([]bool, len(f.Cubes))
+	kept := make([]Cube, 0, len(f.Cubes))
+	for i := 0; i < len(f.Cubes); i++ {
+		if covered[i] {
+			continue
+		}
+		c := f.Cubes[i].Clone()
+		for v := 0; v < f.N; v++ {
+			l := c.Lit(v)
+			if l != LitNeg && l != LitPos {
+				continue
+			}
+			raised := c.WithLit(v, LitBoth)
+			if upper.CoversCube(raised) {
+				c = raised
+			}
+		}
+		// Drop not-yet-processed and already-kept cubes contained in c.
+		for j := i + 1; j < len(f.Cubes); j++ {
+			if !covered[j] && c.ContainsCube(f.Cubes[j]) {
+				covered[j] = true
+			}
+		}
+		out := kept[:0]
+		for _, d := range kept {
+			if !c.ContainsCube(d) {
+				out = append(out, d)
+			}
+		}
+		kept = append(out, c)
+	}
+	f.Cubes = kept
+}
+
+// irredundant removes cubes covered by the remainder of the cover plus dc.
+func irredundant(f, dc *Cover) {
+	// Try to drop cubes with many literals first.
+	order := make([]int, len(f.Cubes))
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool {
+		return f.Cubes[order[a]].CountLits() > f.Cubes[order[b]].CountLits()
+	})
+	removed := make([]bool, len(f.Cubes))
+	for _, i := range order {
+		rest := NewCover(f.N)
+		for j, d := range f.Cubes {
+			if j != i && !removed[j] {
+				rest.Cubes = append(rest.Cubes, d)
+			}
+		}
+		for _, d := range dc.Cubes {
+			rest.Cubes = append(rest.Cubes, d)
+		}
+		if rest.CoversCube(f.Cubes[i]) {
+			removed[i] = true
+		}
+	}
+	out := f.Cubes[:0]
+	for i, c := range f.Cubes {
+		if !removed[i] {
+			out = append(out, c)
+		}
+	}
+	f.Cubes = out
+}
+
+// reduce shrinks each cube to the smallest cube that still covers its
+// essential part, enabling a different expansion on the next pass.
+func reduce(f, dc *Cover) {
+	for i := range f.Cubes {
+		c := f.Cubes[i]
+		rest := NewCover(f.N)
+		for j, d := range f.Cubes {
+			if j != i {
+				rest.Cubes = append(rest.Cubes, d)
+			}
+		}
+		for _, d := range dc.Cubes {
+			rest.Cubes = append(rest.Cubes, d)
+		}
+		// c_reduced = c ∩ supercube( (rest|c)' )
+		comp := rest.Cofactor(c).Complement()
+		if len(comp.Cubes) == 0 {
+			// c is entirely covered by the rest; shrink to empty — it will
+			// be removed by the caller's next irredundant pass. Keep it to
+			// preserve correctness (cover must still contain ON-set).
+			continue
+		}
+		sc := comp.Cubes[0]
+		for _, d := range comp.Cubes[1:] {
+			sc = sc.Supercube(d)
+		}
+		if nc, ok := c.And(sc); ok {
+			f.Cubes[i] = nc
+		}
+	}
+}
+
+// Minimize is Simplify with an empty don't-care set.
+func Minimize(f *Cover) *Cover { return Simplify(f, nil) }
+
+// Contain verifies the simplification contract f·dc' ⊆ r ⊆ f + dc, i.e. the
+// result stays inside the incompletely-specified function's interval. It is
+// exported for tests and for the verification layer.
+func Contain(f, dc, r *Cover) bool {
+	if dc == nil {
+		dc = Zero(f.N)
+	}
+	return Or(f, dc).Covers(r) && Or(r, dc).Covers(f)
+}

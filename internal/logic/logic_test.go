@@ -1,0 +1,287 @@
+package logic
+
+import (
+	"testing"
+)
+
+// truthTable enumerates all 2^n assignments of a cover for brute-force
+// functional comparisons in tests.
+func truthTable(f *Cover) []bool {
+	n := f.N
+	out := make([]bool, 1<<uint(n))
+	assign := make([]bool, n)
+	for m := 0; m < 1<<uint(n); m++ {
+		for v := 0; v < n; v++ {
+			assign[v] = m&(1<<uint(v)) != 0
+		}
+		out[m] = f.Eval(assign)
+	}
+	return out
+}
+
+func sameFunction(t *testing.T, f, g *Cover) {
+	t.Helper()
+	tf, tg := truthTable(f), truthTable(g)
+	for m := range tf {
+		if tf[m] != tg[m] {
+			t.Fatalf("functions differ at minterm %b:\nf=\n%v\ng=\n%v", m, f, g)
+		}
+	}
+}
+
+func TestCubeBasics(t *testing.T) {
+	c := NewCube(5)
+	if !c.IsFull() {
+		t.Fatal("new cube must be full")
+	}
+	c.SetLit(0, LitPos)
+	c.SetLit(3, LitNeg)
+	if c.Lit(0) != LitPos || c.Lit(3) != LitNeg || c.Lit(1) != LitBoth {
+		t.Fatalf("literal round-trip failed: %v", c)
+	}
+	if c.CountLits() != 2 {
+		t.Fatalf("CountLits = %d, want 2", c.CountLits())
+	}
+	if c.String() != "1--0-" {
+		t.Fatalf("String = %q", c.String())
+	}
+	p, err := ParseCube("1--0-")
+	if err != nil || !p.Equal(c) {
+		t.Fatalf("ParseCube round-trip failed: %v %v", p, err)
+	}
+}
+
+func TestCubeIntersection(t *testing.T) {
+	a, _ := ParseCube("1-0")
+	b, _ := ParseCube("-10")
+	r, ok := a.And(b)
+	if !ok || r.String() != "110" {
+		t.Fatalf("And = %v ok=%v", r, ok)
+	}
+	c, _ := ParseCube("0--")
+	if _, ok := a.And(c); ok {
+		t.Fatal("disjoint cubes must intersect empty")
+	}
+	if a.Distance(c) != 1 {
+		t.Fatalf("Distance = %d, want 1", a.Distance(c))
+	}
+}
+
+func TestCubeContains(t *testing.T) {
+	big, _ := ParseCube("1--")
+	small, _ := ParseCube("1-0")
+	if !big.ContainsCube(small) {
+		t.Fatal("1-- must contain 1-0")
+	}
+	if small.ContainsCube(big) {
+		t.Fatal("1-0 must not contain 1--")
+	}
+}
+
+func TestCubeBeyondOneWord(t *testing.T) {
+	// 40 variables spans two uint64 words.
+	c := NewCube(40)
+	c.SetLit(35, LitPos)
+	c.SetLit(2, LitNeg)
+	if c.Lit(35) != LitPos || c.Lit(2) != LitNeg {
+		t.Fatal("multi-word literal access broken")
+	}
+	d := NewCube(40)
+	d.SetLit(35, LitNeg)
+	if c.Distance(d) != 1 {
+		t.Fatalf("multi-word distance = %d", c.Distance(d))
+	}
+}
+
+func TestTautology(t *testing.T) {
+	cases := []struct {
+		n     int
+		cubes []string
+		want  bool
+	}{
+		{1, []string{"0", "1"}, true},
+		{1, []string{"1"}, false},
+		{2, []string{"1-", "01", "00"}, true},
+		{2, []string{"1-", "01"}, false},
+		{3, []string{"---"}, true},
+		{3, []string{"1--", "0--"}, true},
+		{3, []string{"11-", "0--", "10-"}, true},
+		{3, []string{"11-", "0--", "100"}, false},
+		{0, nil, false},
+	}
+	for i, tc := range cases {
+		f := MustParseCover(tc.n, tc.cubes...)
+		if got := f.IsTautology(); got != tc.want {
+			t.Errorf("case %d: IsTautology=%v want %v (%v)", i, got, tc.want, tc.cubes)
+		}
+	}
+}
+
+func TestComplement(t *testing.T) {
+	f := MustParseCover(3, "11-", "0-1")
+	g := f.Complement()
+	tf, tg := truthTable(f), truthTable(g)
+	for m := range tf {
+		if tf[m] == tg[m] {
+			t.Fatalf("complement wrong at minterm %d", m)
+		}
+	}
+	// Complement of zero and one.
+	if !Zero(2).Complement().IsTautology() {
+		t.Fatal("complement of 0 must be 1")
+	}
+	if !One(2).Complement().IsZero() {
+		t.Fatal("complement of 1 must be 0")
+	}
+}
+
+func TestAndOrXor(t *testing.T) {
+	f := MustParseCover(3, "1--")
+	g := MustParseCover(3, "-1-")
+	and := And(f, g)
+	or := Or(f, g)
+	xor := Xor(f, g)
+	tf, tg := truthTable(f), truthTable(g)
+	ta, to, tx := truthTable(and), truthTable(or), truthTable(xor)
+	for m := range tf {
+		if ta[m] != (tf[m] && tg[m]) {
+			t.Fatalf("And wrong at %d", m)
+		}
+		if to[m] != (tf[m] || tg[m]) {
+			t.Fatalf("Or wrong at %d", m)
+		}
+		if tx[m] != (tf[m] != tg[m]) {
+			t.Fatalf("Xor wrong at %d", m)
+		}
+	}
+}
+
+func TestCofactor(t *testing.T) {
+	f := MustParseCover(3, "11-", "0-1")
+	hi := f.CofactorVar(0, true)
+	lo := f.CofactorVar(0, false)
+	// Shannon expansion must reconstruct f.
+	x := NewCover(3)
+	for _, c := range hi.Cubes {
+		d := c.Clone()
+		d.SetLit(0, LitPos)
+		x.Add(d)
+	}
+	for _, c := range lo.Cubes {
+		d := c.Clone()
+		d.SetLit(0, LitNeg)
+		x.Add(d)
+	}
+	sameFunction(t, f, x)
+}
+
+func TestCoversCube(t *testing.T) {
+	f := MustParseCover(3, "1--", "01-")
+	c, _ := ParseCube("11-")
+	if !f.CoversCube(c) {
+		t.Fatal("f must cover 11-")
+	}
+	c2, _ := ParseCube("00-")
+	if f.CoversCube(c2) {
+		t.Fatal("f must not cover 00-")
+	}
+}
+
+func TestEquivalentTo(t *testing.T) {
+	f := MustParseCover(2, "1-", "-1")
+	g := MustParseCover(2, "01", "10", "11")
+	if !f.EquivalentTo(g) {
+		t.Fatal("OR forms must be equivalent")
+	}
+	h := MustParseCover(2, "1-")
+	if f.EquivalentTo(h) {
+		t.Fatal("distinct functions reported equivalent")
+	}
+}
+
+func TestScc(t *testing.T) {
+	f := MustParseCover(3, "1--", "11-", "1--")
+	f.Scc()
+	if len(f.Cubes) != 1 || f.Cubes[0].String() != "1--" {
+		t.Fatalf("Scc result: %v", f)
+	}
+}
+
+func TestSimplifyNoDC(t *testing.T) {
+	// f = a'b + ab + ab' should minimize toward a + b.
+	f := MustParseCover(2, "01", "11", "10")
+	r := Minimize(f)
+	sameFunction(t, f, r)
+	if len(r.Cubes) > 2 {
+		t.Fatalf("Minimize left %d cubes: %v", len(r.Cubes), r)
+	}
+}
+
+func TestSimplifyWithDC(t *testing.T) {
+	// The paper's equation (1)-(3): y = (v01·v31 + a)(b + v21) with
+	// DCret containing v01 ⊕ v21 and v21 ⊕ v31 reduces to y = v01 + a... in
+	// cube form over (v01, v31, v21, a, b):
+	// f = v01 v31 b + v01 v31 v21 + a b + a v21
+	f := MustParseCover(5, "11--1", "111--", "---11", "--11-")
+	// DCret = v01⊕v21 + v31⊕v21 (equivalence class {v01,v31,v21}).
+	dc := MustParseCover(5, "1-0--", "0-1--", "-10--", "-01--")
+	r := Simplify(f, dc)
+	if !Contain(f, dc, r) {
+		t.Fatalf("Simplify violated containment:\n%v", r)
+	}
+	// Under the care set (all three register vars equal), f reduces to
+	// v01·b + a  ... check specific care points.
+	eval := func(v01, v31, v21, a, b bool) bool {
+		return r.Eval([]bool{v01, v31, v21, a, b})
+	}
+	// care points: v01=v31=v21.
+	for _, v := range []bool{false, true} {
+		for _, a := range []bool{false, true} {
+			for _, b := range []bool{false, true} {
+				// Original: (v·v + a)(b + v) = (v + a)(b + v).
+				want := (v || a) && (b || v)
+				if eval(v, v, v, a, b) != want {
+					t.Fatalf("care-point mismatch at v=%v a=%v b=%v", v, a, b)
+				}
+			}
+		}
+	}
+	if r.NumLits() >= f.NumLits() {
+		t.Fatalf("DC simplification did not reduce literals: %d -> %d\n%v", f.NumLits(), r.NumLits(), r)
+	}
+}
+
+func TestSimplifyToTautology(t *testing.T) {
+	f := MustParseCover(2, "1-")
+	dc := MustParseCover(2, "0-")
+	r := Simplify(f, dc)
+	if !r.IsTautology() {
+		t.Fatalf("f+dc covers everything; expected constant 1, got %v", r)
+	}
+}
+
+func TestRemap(t *testing.T) {
+	f := MustParseCover(2, "10")
+	g := f.Remap(4, []int{3, 1})
+	c, _ := ParseCube("-0-1")
+	if len(g.Cubes) != 1 || !g.Cubes[0].Equal(c) {
+		t.Fatalf("Remap result: %v", g)
+	}
+}
+
+func TestSupportDependsOn(t *testing.T) {
+	f := MustParseCover(3, "1--", "10-")
+	sup := f.Support()
+	if len(sup) != 2 || sup[0] != 0 || sup[1] != 1 {
+		t.Fatalf("Support = %v", sup)
+	}
+	if !f.DependsOn(0) {
+		t.Fatal("must depend on var 0")
+	}
+	if f.DependsOn(1) {
+		t.Fatal("var 1 is redundant (10- ⊆ 1--); no semantic dependence")
+	}
+	if f.DependsOn(2) {
+		t.Fatal("must not depend on var 2")
+	}
+}

@@ -1,0 +1,159 @@
+package logic
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// PLA is a two-level function in the espresso input format: shared input
+// plane, one output column per function, with ON-set rows ('1'), DC-set
+// rows ('-'), and optionally OFF-set rows ('0').
+type PLA struct {
+	NumIn   int
+	NumOut  int
+	InName  []string
+	OutName []string
+	// On and DC hold one cover per output over the NumIn input variables.
+	On []*Cover
+	DC []*Cover
+}
+
+// ReadPLA parses an espresso .pla description (directives .i/.o/.ilb/.ob/
+// .p/.type fr/.e; product-term rows).
+func ReadPLA(r io.Reader) (*PLA, error) {
+	sc := bufio.NewScanner(r)
+	p := &PLA{}
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if i := strings.Index(line, "#"); i >= 0 {
+			line = strings.TrimSpace(line[:i])
+		}
+		if line == "" {
+			continue
+		}
+		fields := strings.Fields(line)
+		switch fields[0] {
+		case ".i":
+			fmt.Sscanf(fields[1], "%d", &p.NumIn)
+		case ".o":
+			fmt.Sscanf(fields[1], "%d", &p.NumOut)
+			p.On = make([]*Cover, p.NumOut)
+			p.DC = make([]*Cover, p.NumOut)
+			for o := range p.On {
+				p.On[o] = NewCover(p.NumIn)
+				p.DC[o] = NewCover(p.NumIn)
+			}
+		case ".ilb":
+			p.InName = append([]string(nil), fields[1:]...)
+		case ".ob":
+			p.OutName = append([]string(nil), fields[1:]...)
+		case ".p", ".type":
+			// row count / type are advisory; fd (default) and fr accepted
+		case ".e", ".end":
+			// done
+		default:
+			if strings.HasPrefix(fields[0], ".") {
+				continue // ignore unknown directives
+			}
+			if p.On == nil {
+				return nil, fmt.Errorf("pla:%d: row before .i/.o", lineNo)
+			}
+			if len(fields) != 2 {
+				return nil, fmt.Errorf("pla:%d: malformed row %q", lineNo, line)
+			}
+			in, out := fields[0], fields[1]
+			if len(in) != p.NumIn || len(out) != p.NumOut {
+				return nil, fmt.Errorf("pla:%d: row width mismatch", lineNo)
+			}
+			c, err := ParseCube(in)
+			if err != nil {
+				return nil, fmt.Errorf("pla:%d: %v", lineNo, err)
+			}
+			for o := 0; o < p.NumOut; o++ {
+				switch out[o] {
+				case '1', '4':
+					p.On[o].Add(c.Clone())
+				case '-', '2', '~':
+					p.DC[o].Add(c.Clone())
+				case '0':
+					// OFF-set row: no-op for fd-type semantics
+				default:
+					return nil, fmt.Errorf("pla:%d: bad output char %q", lineNo, out[o])
+				}
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if p.On == nil {
+		return nil, fmt.Errorf("pla: missing .i/.o header")
+	}
+	return p, nil
+}
+
+// WritePLA emits the PLA in espresso format (fd type: ON rows then DC rows).
+func WritePLA(w io.Writer, p *PLA) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, ".i %d\n.o %d\n", p.NumIn, p.NumOut)
+	if len(p.InName) == p.NumIn && p.NumIn > 0 {
+		fmt.Fprintf(bw, ".ilb %s\n", strings.Join(p.InName, " "))
+	}
+	if len(p.OutName) == p.NumOut && p.NumOut > 0 {
+		fmt.Fprintf(bw, ".ob %s\n", strings.Join(p.OutName, " "))
+	}
+	// Collect distinct cubes; emit one row per cube with its output plane.
+	type rowInfo struct {
+		cube Cube
+		out  []byte
+	}
+	rows := map[string]*rowInfo{}
+	var order []string
+	mark := func(c Cube, o int, ch byte) {
+		k := c.String()
+		ri, ok := rows[k]
+		if !ok {
+			ri = &rowInfo{cube: c, out: []byte(strings.Repeat("0", p.NumOut))}
+			rows[k] = ri
+			order = append(order, k)
+		}
+		ri.out[o] = ch
+	}
+	for o := 0; o < p.NumOut; o++ {
+		for _, c := range p.On[o].Cubes {
+			mark(c, o, '1')
+		}
+		if p.DC[o] != nil {
+			for _, c := range p.DC[o].Cubes {
+				mark(c, o, '-')
+			}
+		}
+	}
+	fmt.Fprintf(bw, ".p %d\n", len(order))
+	for _, k := range order {
+		ri := rows[k]
+		fmt.Fprintf(bw, "%s %s\n", ri.cube.String(), string(ri.out))
+	}
+	fmt.Fprintln(bw, ".e")
+	return bw.Flush()
+}
+
+// MinimizePLA runs the espresso-style minimizer on every output against
+// its don't-care set, returning a new PLA (the DC planes are preserved).
+func MinimizePLA(p *PLA) *PLA {
+	out := &PLA{
+		NumIn: p.NumIn, NumOut: p.NumOut,
+		InName: p.InName, OutName: p.OutName,
+		On: make([]*Cover, p.NumOut),
+		DC: make([]*Cover, p.NumOut),
+	}
+	for o := 0; o < p.NumOut; o++ {
+		out.On[o] = Simplify(p.On[o], p.DC[o])
+		out.DC[o] = p.DC[o].Clone()
+	}
+	return out
+}

@@ -1,0 +1,111 @@
+package logic
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+const xorPLA = `
+# 2-output PLA: xor and and
+.i 2
+.o 2
+.ilb a b
+.ob x y
+.p 3
+10 10
+01 10
+11 01
+.e
+`
+
+func TestReadPLA(t *testing.T) {
+	p, err := ReadPLA(strings.NewReader(xorPLA))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.NumIn != 2 || p.NumOut != 2 {
+		t.Fatalf("header %d/%d", p.NumIn, p.NumOut)
+	}
+	if len(p.InName) != 2 || p.InName[0] != "a" || p.OutName[1] != "y" {
+		t.Fatalf("labels: %v %v", p.InName, p.OutName)
+	}
+	// Output 0 is XOR, output 1 is AND.
+	for m := 0; m < 4; m++ {
+		a, b := m&1 != 0, m&2 != 0
+		if p.On[0].Eval([]bool{a, b}) != (a != b) {
+			t.Fatalf("xor wrong at %v %v", a, b)
+		}
+		if p.On[1].Eval([]bool{a, b}) != (a && b) {
+			t.Fatalf("and wrong at %v %v", a, b)
+		}
+	}
+}
+
+func TestPLARoundTrip(t *testing.T) {
+	p, err := ReadPLA(strings.NewReader(xorPLA))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WritePLA(&buf, p); err != nil {
+		t.Fatal(err)
+	}
+	q, err := ReadPLA(&buf)
+	if err != nil {
+		t.Fatalf("re-read: %v\n%s", err, buf.String())
+	}
+	for o := 0; o < p.NumOut; o++ {
+		if !p.On[o].EquivalentTo(q.On[o]) {
+			t.Fatalf("output %d changed across round trip", o)
+		}
+	}
+}
+
+func TestPLADontCares(t *testing.T) {
+	src := `
+.i 3
+.o 1
+.p 4
+111 1
+110 1
+00- -
+011 1
+.e
+`
+	p, err := ReadPLA(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.DC[0].Cubes) != 1 {
+		t.Fatalf("DC rows: %d", len(p.DC[0].Cubes))
+	}
+	m := MinimizePLA(p)
+	if !Contain(p.On[0], p.DC[0], m.On[0]) {
+		t.Fatal("minimized PLA left the care interval")
+	}
+	if m.On[0].NumLits() > p.On[0].NumLits() {
+		t.Fatalf("minimization increased literals: %d -> %d",
+			p.On[0].NumLits(), m.On[0].NumLits())
+	}
+}
+
+func TestPLAErrors(t *testing.T) {
+	bad := []string{
+		"10 1\n.e",              // row before header
+		".i 2\n.o 1\n101 1\n.e", // width mismatch
+		".i 2\n.o 1\n10 x\n.e",  // bad output char
+		".i 2\n.o 1\n10\n.e",    // missing output plane
+	}
+	for i, src := range bad {
+		if _, err := ReadPLA(strings.NewReader(src)); err == nil {
+			t.Errorf("case %d: error expected", i)
+		}
+	}
+}
+
+func TestPLAMissingHeader(t *testing.T) {
+	if _, err := ReadPLA(strings.NewReader("# empty\n")); err == nil {
+		t.Fatal("missing header must error")
+	}
+}

@@ -1,0 +1,181 @@
+package logic
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// randCover draws a random cover over n variables with up to maxCubes cubes.
+func randCover(r *rand.Rand, n, maxCubes int) *Cover {
+	f := NewCover(n)
+	k := r.Intn(maxCubes + 1)
+	for i := 0; i < k; i++ {
+		c := NewCube(n)
+		for v := 0; v < n; v++ {
+			switch r.Intn(3) {
+			case 0:
+				c.SetLit(v, LitNeg)
+			case 1:
+				c.SetLit(v, LitPos)
+			}
+		}
+		f.Add(c)
+	}
+	return f
+}
+
+const quickVars = 5
+
+func TestQuickComplementIsInvolution(t *testing.T) {
+	r := rand.New(rand.NewSource(42))
+	for i := 0; i < 200; i++ {
+		f := randCover(r, quickVars, 6)
+		g := f.Complement().Complement()
+		if !f.EquivalentTo(g) {
+			t.Fatalf("double complement changed function:\n%v\nvs\n%v", f, g)
+		}
+	}
+}
+
+func TestQuickComplementDisjointAndComplete(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	for i := 0; i < 200; i++ {
+		f := randCover(r, quickVars, 6)
+		g := f.Complement()
+		if !And(f, g).IsZero() && And(f, g).IsTautology() {
+			t.Fatal("f AND f' must not be a tautology")
+		}
+		tf, tg := truthTable(f), truthTable(g)
+		for m := range tf {
+			if tf[m] == tg[m] {
+				t.Fatalf("complement overlap/gap at minterm %d", m)
+			}
+		}
+	}
+}
+
+func TestQuickDeMorgan(t *testing.T) {
+	r := rand.New(rand.NewSource(11))
+	for i := 0; i < 150; i++ {
+		f := randCover(r, quickVars, 4)
+		g := randCover(r, quickVars, 4)
+		lhs := Or(f, g).Complement()
+		rhs := And(f.Complement(), g.Complement())
+		if !lhs.EquivalentTo(rhs) {
+			t.Fatal("De Morgan violated")
+		}
+	}
+}
+
+func TestQuickTautologyMatchesBruteForce(t *testing.T) {
+	r := rand.New(rand.NewSource(13))
+	for i := 0; i < 300; i++ {
+		f := randCover(r, quickVars, 7)
+		tt := truthTable(f)
+		brute := true
+		for _, b := range tt {
+			if !b {
+				brute = false
+				break
+			}
+		}
+		if f.IsTautology() != brute {
+			t.Fatalf("tautology mismatch for:\n%v", f)
+		}
+	}
+}
+
+func TestQuickSimplifyPreservesFunction(t *testing.T) {
+	r := rand.New(rand.NewSource(17))
+	for i := 0; i < 200; i++ {
+		f := randCover(r, quickVars, 6)
+		m := Minimize(f)
+		if !f.EquivalentTo(m) {
+			t.Fatalf("Minimize changed function:\n%v\n->\n%v", f, m)
+		}
+		if m.cost().less(f.cost()) == false && f.cost().less(m.cost()) {
+			t.Fatal("Minimize made the cover strictly worse")
+		}
+	}
+}
+
+func TestQuickSimplifyWithDCStaysInInterval(t *testing.T) {
+	r := rand.New(rand.NewSource(19))
+	for i := 0; i < 200; i++ {
+		f := randCover(r, quickVars, 5)
+		dc := randCover(r, quickVars, 3)
+		s := Simplify(f, dc)
+		if !Contain(f, dc, s) {
+			t.Fatalf("Simplify left [f, f+dc] interval:\nf=%v\ndc=%v\ns=%v", f, dc, s)
+		}
+		// On every care minterm the simplified function must agree with f.
+		tf, tdc, ts := truthTable(f), truthTable(dc), truthTable(s)
+		for mt := range tf {
+			if !tdc[mt] && tf[mt] != ts[mt] {
+				t.Fatalf("care minterm %d changed", mt)
+			}
+		}
+	}
+}
+
+func TestQuickCofactorShannon(t *testing.T) {
+	// Shannon expansion identity f = x·f_x + x'·f_x' via testing/quick over
+	// random seeds.
+	prop := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		f := randCover(r, quickVars, 6)
+		v := r.Intn(quickVars)
+		hi, lo := f.CofactorVar(v, true), f.CofactorVar(v, false)
+		xpos := NewCover(quickVars)
+		c := NewCube(quickVars)
+		c.SetLit(v, LitPos)
+		xpos.Add(c)
+		xneg := NewCover(quickVars)
+		c2 := NewCube(quickVars)
+		c2.SetLit(v, LitNeg)
+		xneg.Add(c2)
+		recon := Or(And(xpos, hi), And(xneg, lo))
+		return f.EquivalentTo(recon)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickCoversAgreesWithTruthTables(t *testing.T) {
+	prop := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		f := randCover(r, quickVars, 5)
+		g := randCover(r, quickVars, 5)
+		tf, tg := truthTable(f), truthTable(g)
+		brute := true
+		for m := range tg {
+			if tg[m] && !tf[m] {
+				brute = false
+				break
+			}
+		}
+		return f.Covers(g) == brute
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickXorProperties(t *testing.T) {
+	prop := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		f := randCover(r, quickVars, 4)
+		if !Xor(f, f).IsZeroFunction() {
+			return false
+		}
+		if !Xor(f, Zero(quickVars)).EquivalentTo(f) {
+			return false
+		}
+		return Xor(f, One(quickVars)).EquivalentTo(f.Complement())
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

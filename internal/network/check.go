@@ -1,0 +1,103 @@
+package network
+
+import "fmt"
+
+// Check validates internal consistency: fanin/fanout symmetry, function
+// arity, name-table integrity, latch wiring and combinational acyclicity.
+// Passes call it in tests after every transformation.
+func (n *Network) Check() error {
+	inNodes := make(map[*Node]bool, len(n.nodes))
+	for _, v := range n.nodes {
+		inNodes[v] = true
+	}
+	for name, v := range n.byName {
+		if v.Name != name {
+			return fmt.Errorf("network: name table maps %q to node named %q", name, v.Name)
+		}
+		if !inNodes[v] {
+			return fmt.Errorf("network: name table references removed node %q", name)
+		}
+	}
+	for _, v := range n.nodes {
+		switch v.Kind {
+		case KindPI, KindLatchOut:
+			if len(v.Fanins) != 0 || v.Func != nil {
+				return fmt.Errorf("network: source %s has fanins or function", v.Name)
+			}
+		case KindLogic:
+			if v.Func == nil {
+				return fmt.Errorf("network: logic node %s has no function", v.Name)
+			}
+			if v.Func.N != len(v.Fanins) {
+				return fmt.Errorf("network: node %s: %d cover vars vs %d fanins",
+					v.Name, v.Func.N, len(v.Fanins))
+			}
+			seen := make(map[*Node]bool)
+			for _, fi := range v.Fanins {
+				if !inNodes[fi] {
+					return fmt.Errorf("network: node %s has removed fanin %s", v.Name, fi.Name)
+				}
+				if seen[fi] {
+					return fmt.Errorf("network: node %s has duplicate fanin %s", v.Name, fi.Name)
+				}
+				seen[fi] = true
+				found := false
+				for _, fo := range fi.fanouts {
+					if fo == v {
+						found = true
+						break
+					}
+				}
+				if !found {
+					return fmt.Errorf("network: fanout list of %s misses consumer %s", fi.Name, v.Name)
+				}
+			}
+		}
+		for _, fo := range v.fanouts {
+			if !inNodes[fo] {
+				return fmt.Errorf("network: node %s has removed fanout %s", v.Name, fo.Name)
+			}
+			if fo.FaninIndex(v) < 0 {
+				return fmt.Errorf("network: fanout %s of %s does not list it as fanin", fo.Name, v.Name)
+			}
+		}
+	}
+	for _, l := range n.Latches {
+		if !inNodes[l.Driver] {
+			return fmt.Errorf("network: latch %s driver removed", l.Name)
+		}
+		if !inNodes[l.Output] || l.Output.Kind != KindLatchOut {
+			return fmt.Errorf("network: latch %s output invalid", l.Name)
+		}
+	}
+	for _, p := range n.POs {
+		if !inNodes[p.Driver] {
+			return fmt.Errorf("network: PO %s driver removed", p.Name)
+		}
+	}
+	if _, err := n.TopoOrder(); err != nil {
+		return err
+	}
+	return nil
+}
+
+// Stats is a compact summary used by flows and tools.
+type Stats struct {
+	PIs, POs, Latches, LogicNodes, Lits int
+}
+
+// Stat computes the summary.
+func (n *Network) Stat() Stats {
+	return Stats{
+		PIs:        len(n.PIs),
+		POs:        len(n.POs),
+		Latches:    len(n.Latches),
+		LogicNodes: n.NumLogicNodes(),
+		Lits:       n.NumLits(),
+	}
+}
+
+func (s Stats) String() string {
+	return fmt.Sprintf("pi=%d po=%d latch=%d nodes=%d lits=%d",
+		s.PIs, s.POs, s.Latches, s.LogicNodes, s.Lits)
+}

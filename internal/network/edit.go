@@ -1,0 +1,323 @@
+package network
+
+import (
+	"fmt"
+
+	"repro/internal/logic"
+)
+
+// This file contains structural editing operations: rewiring, node
+// duplication (used to make critical paths fanout free), elimination
+// (collapsing a node into a consumer), dead-node sweeping and deep cloning.
+
+// SetFunction replaces node's fanins and function atomically, maintaining
+// fanout lists.
+func (n *Network) SetFunction(node *Node, fanins []*Node, f *logic.Cover) {
+	if node.Kind != KindLogic {
+		panic("network: SetFunction on non-logic node")
+	}
+	fanins, f = normalizeFanins(fanins, f)
+	// A bound-gate annotation describes the old function; keep it only
+	// when the cover is structurally unchanged (pure rewires such as
+	// retiming moves preserve it).
+	if node.Gate != nil && !sameCover(node.Func, f) {
+		node.Gate = nil
+	}
+	for _, fi := range node.Fanins {
+		fi.removeFanout(node)
+	}
+	node.Fanins = fanins
+	node.Func = f
+	for _, fi := range fanins {
+		fi.fanouts = append(fi.fanouts, node)
+	}
+}
+
+func sameCover(a, b *logic.Cover) bool {
+	if a == nil || b == nil {
+		return a == b
+	}
+	if a.N != b.N || len(a.Cubes) != len(b.Cubes) {
+		return false
+	}
+	for i := range a.Cubes {
+		if !a.Cubes[i].Equal(b.Cubes[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+func (node *Node) removeFanout(consumer *Node) {
+	for i, f := range node.fanouts {
+		if f == consumer {
+			node.fanouts = append(node.fanouts[:i], node.fanouts[i+1:]...)
+			return
+		}
+	}
+}
+
+// ReplaceFanin rewires consumer so that occurrences of old become new. If
+// new is already a fanin the two variables are merged in the cover.
+func (n *Network) ReplaceFanin(consumer, old, new *Node) {
+	idx := consumer.FaninIndex(old)
+	if idx < 0 {
+		panic(fmt.Sprintf("network: %s is not a fanin of %s", old.Name, consumer.Name))
+	}
+	fanins := make([]*Node, len(consumer.Fanins))
+	copy(fanins, consumer.Fanins)
+	fanins[idx] = new
+	n.SetFunction(consumer, fanins, consumer.Func.Clone())
+}
+
+// RedirectConsumers moves every consumer of old (logic fanouts, latch data
+// inputs, primary outputs) onto new. old keeps its fanins and may then be
+// swept.
+func (n *Network) RedirectConsumers(old, new *Node) {
+	for _, c := range n.LogicFanouts(old) {
+		n.ReplaceFanin(c, old, new)
+	}
+	for _, l := range n.Latches {
+		if l.Driver == old {
+			l.Driver = new
+		}
+	}
+	for _, p := range n.POs {
+		if p.Driver == old {
+			p.Driver = new
+		}
+	}
+}
+
+// Duplicate creates a copy of a logic node (same fanins and function) with a
+// derived name, returning the copy. Consumers are not rewired.
+func (n *Network) Duplicate(node *Node) *Node {
+	if node.Kind != KindLogic {
+		panic("network: Duplicate on non-logic node")
+	}
+	fanins := make([]*Node, len(node.Fanins))
+	copy(fanins, node.Fanins)
+	return n.AddLogic(node.Name+"_dup", fanins, node.Func.Clone())
+}
+
+// Collapse substitutes the function of fanin g into consumer f (SIS
+// "eliminate" of one edge): f loses g as a fanin and gains g's fanins.
+// Uses the Shannon identity f = g·f|g=1 + g'·f|g=0.
+func (n *Network) Collapse(f, g *Node) {
+	if g.Kind != KindLogic {
+		panic("network: Collapse requires a logic fanin")
+	}
+	idx := f.FaninIndex(g)
+	if idx < 0 {
+		panic(fmt.Sprintf("network: %s is not a fanin of %s", g.Name, f.Name))
+	}
+	// Build the combined fanin list: f's fanins minus g, then g's fanins
+	// appended (duplicates are merged by SetFunction).
+	var newFanins []*Node
+	mapOld := make([]int, len(f.Fanins)) // old f var -> new var (or -1 for g)
+	for i, fi := range f.Fanins {
+		if i == idx {
+			mapOld[i] = -1
+			continue
+		}
+		mapOld[i] = len(newFanins)
+		newFanins = append(newFanins, fi)
+	}
+	base := len(newFanins)
+	mapG := make([]int, len(g.Fanins)) // g var -> new var
+	for i, gi := range g.Fanins {
+		mapG[i] = base + i
+		newFanins = append(newFanins, gi)
+	}
+	m := len(newFanins)
+
+	remapF := func(c *logic.Cover) *logic.Cover {
+		vm := make([]int, len(mapOld))
+		copy(vm, mapOld)
+		// Cofactored covers no longer depend on var idx; give it a junk
+		// valid slot to satisfy Remap's bound-variable rule (it is unused).
+		vm[idx] = 0
+		return c.Remap(m, vm)
+	}
+	hi := remapF(f.Func.CofactorVar(idx, true))
+	lo := remapF(f.Func.CofactorVar(idx, false))
+	gOn := g.Func.Remap(m, mapG)
+	gOff := g.Func.Complement().Remap(m, mapG)
+	combined := logic.Or(logic.And(gOn, hi), logic.And(gOff, lo))
+	n.SetFunction(f, newFanins, combined)
+}
+
+// TrimFanins drops fanins the node's function does not syntactically
+// depend on, shrinking the cover's variable space. Returns the number of
+// fanins removed.
+func (n *Network) TrimFanins(node *Node) int {
+	if node.Kind != KindLogic {
+		return 0
+	}
+	used := make([]bool, len(node.Fanins))
+	for _, v := range node.Func.Support() {
+		used[v] = true
+	}
+	keep := 0
+	for _, u := range used {
+		if u {
+			keep++
+		}
+	}
+	if keep == len(node.Fanins) {
+		return 0
+	}
+	varMap := make([]int, len(node.Fanins))
+	var fanins []*Node
+	for i, u := range used {
+		if u {
+			varMap[i] = len(fanins)
+			fanins = append(fanins, node.Fanins[i])
+		} else {
+			varMap[i] = -1
+		}
+	}
+	// Remap tolerates unused -1 entries only if the cover does not bind
+	// them; by construction it does not.
+	for i := range varMap {
+		if varMap[i] < 0 {
+			varMap[i] = 0 // placeholder, variable is unbound
+		}
+	}
+	f := node.Func.Remap(keep, varMap)
+	removed := len(node.Fanins) - keep
+	n.SetFunction(node, fanins, f)
+	return removed
+}
+
+// TrimAllFanins applies TrimFanins to every logic node.
+func (n *Network) TrimAllFanins() int {
+	total := 0
+	for _, v := range n.Nodes() {
+		if v.Kind == KindLogic {
+			total += n.TrimFanins(v)
+		}
+	}
+	return total
+}
+
+// RemoveDeadNode deletes a logic node with no consumers.
+func (n *Network) RemoveDeadNode(node *Node) {
+	if node.Kind != KindLogic {
+		panic("network: RemoveDeadNode on non-logic node")
+	}
+	if n.NumFanouts(node) != 0 {
+		panic(fmt.Sprintf("network: node %s still has consumers", node.Name))
+	}
+	for _, fi := range node.Fanins {
+		fi.removeFanout(node)
+	}
+	delete(n.byName, node.Name)
+	for i, v := range n.nodes {
+		if v == node {
+			n.nodes = append(n.nodes[:i], n.nodes[i+1:]...)
+			break
+		}
+	}
+}
+
+// RemoveLatch deletes a latch and its output node. The output node must
+// have no consumers.
+func (n *Network) RemoveLatch(l *Latch) {
+	if n.NumFanouts(l.Output) != 0 {
+		panic(fmt.Sprintf("network: latch %s output still has consumers", l.Name))
+	}
+	for i, x := range n.Latches {
+		if x == l {
+			n.Latches = append(n.Latches[:i], n.Latches[i+1:]...)
+			break
+		}
+	}
+	delete(n.byName, l.Output.Name)
+	for i, v := range n.nodes {
+		if v == l.Output {
+			n.nodes = append(n.nodes[:i], n.nodes[i+1:]...)
+			break
+		}
+	}
+}
+
+// Sweep removes logic nodes unreachable from any primary output or register
+// data input, and returns the number removed.
+func (n *Network) Sweep() int {
+	live := make(map[*Node]bool)
+	var mark func(v *Node)
+	mark = func(v *Node) {
+		if v == nil || live[v] {
+			return
+		}
+		live[v] = true
+		for _, fi := range v.Fanins {
+			mark(fi)
+		}
+	}
+	for _, p := range n.POs {
+		mark(p.Driver)
+	}
+	for _, l := range n.Latches {
+		mark(l.Driver)
+		live[l.Output] = true
+	}
+	removed := 0
+	for {
+		progress := false
+		for _, v := range n.Nodes() {
+			if v.Kind == KindLogic && !live[v] && n.NumFanouts(v) == 0 {
+				n.RemoveDeadNode(v)
+				removed++
+				progress = true
+				break
+			}
+		}
+		if !progress {
+			return removed
+		}
+	}
+}
+
+// Clone returns a deep copy of the network. Node identities are fresh but
+// names, order and functions are preserved.
+func (n *Network) Clone() *Network {
+	c := New(n.Name)
+	old2new := make(map[*Node]*Node, len(n.nodes))
+	// First pass: create all nodes without fanins to allow arbitrary
+	// topological shapes (feedback goes through latches, but logic order in
+	// n.nodes may interleave).
+	for _, v := range n.nodes {
+		nv := &Node{Name: v.Name, Kind: v.Kind, Gate: v.Gate}
+		c.register(nv)
+		old2new[v] = nv
+	}
+	for _, v := range n.nodes {
+		if v.Kind != KindLogic {
+			continue
+		}
+		nv := old2new[v]
+		nv.Func = v.Func.Clone()
+		nv.Fanins = make([]*Node, len(v.Fanins))
+		for i, fi := range v.Fanins {
+			nv.Fanins[i] = old2new[fi]
+			old2new[fi].fanouts = append(old2new[fi].fanouts, nv)
+		}
+	}
+	for _, v := range n.PIs {
+		c.PIs = append(c.PIs, old2new[v])
+	}
+	for _, p := range n.POs {
+		c.POs = append(c.POs, &PO{Name: p.Name, Driver: old2new[p.Driver]})
+	}
+	for _, l := range n.Latches {
+		c.Latches = append(c.Latches, &Latch{
+			Name:   l.Name,
+			Driver: old2new[l.Driver],
+			Output: old2new[l.Output],
+			Init:   l.Init,
+		})
+	}
+	return c
+}

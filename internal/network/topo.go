@@ -1,0 +1,100 @@
+package network
+
+import "fmt"
+
+// TopoOrder returns the logic nodes in topological order (fanins before
+// fanouts). Combinational sources (PIs, latch outputs) are not included.
+// It returns an error if the combinational logic contains a cycle — legal
+// sequential feedback must pass through a latch.
+func (n *Network) TopoOrder() ([]*Node, error) {
+	const (
+		white = 0
+		gray  = 1
+		black = 2
+	)
+	color := make(map[*Node]byte, len(n.nodes))
+	var order []*Node
+	var visit func(v *Node) error
+	visit = func(v *Node) error {
+		switch color[v] {
+		case gray:
+			return fmt.Errorf("network: combinational cycle through %s", v.Name)
+		case black:
+			return nil
+		}
+		if v.IsSource() {
+			color[v] = black
+			return nil
+		}
+		color[v] = gray
+		for _, fi := range v.Fanins {
+			if err := visit(fi); err != nil {
+				return err
+			}
+		}
+		color[v] = black
+		order = append(order, v)
+		return nil
+	}
+	for _, p := range n.POs {
+		if err := visit(p.Driver); err != nil {
+			return nil, err
+		}
+	}
+	for _, l := range n.Latches {
+		if err := visit(l.Driver); err != nil {
+			return nil, err
+		}
+	}
+	// Dead logic nodes still participate so callers can iterate everything.
+	for _, v := range n.nodes {
+		if v.Kind == KindLogic {
+			if err := visit(v); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return order, nil
+}
+
+// TransitiveFanin returns the set of nodes in the combinational transitive
+// fanin of node (inclusive), stopping at sources.
+func (n *Network) TransitiveFanin(node *Node) map[*Node]bool {
+	seen := make(map[*Node]bool)
+	var walk func(v *Node)
+	walk = func(v *Node) {
+		if seen[v] {
+			return
+		}
+		seen[v] = true
+		if v.IsSource() {
+			return
+		}
+		for _, fi := range v.Fanins {
+			walk(fi)
+		}
+	}
+	walk(node)
+	return seen
+}
+
+// TransitiveFanout returns the set of logic nodes in the combinational
+// transitive fanout of node (inclusive of logic consumers, exclusive of
+// node itself unless it is logic).
+func (n *Network) TransitiveFanout(node *Node) map[*Node]bool {
+	seen := make(map[*Node]bool)
+	var walk func(v *Node)
+	walk = func(v *Node) {
+		for _, c := range v.fanouts {
+			if !seen[c] {
+				seen[c] = true
+				walk(c)
+			}
+		}
+	}
+	walk(node)
+	if node.Kind == KindLogic {
+		seen[node] = true
+	}
+	return seen
+}

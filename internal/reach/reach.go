@@ -1,0 +1,237 @@
+// Package reach performs BDD-based implicit state enumeration of a
+// sequential network (Coudert–Madre / Touati-style reachability). The
+// baseline "retiming + combinational optimization" flow uses it to extract
+// unreachable-state external don't cares — the computation the paper's own
+// technique deliberately avoids (Section II: "implicit state enumeration
+// methods using BDDs are computationally intensive...  In contrast, we do
+// not have to perform any computation to evaluate these retiming induced
+// don't care conditions").
+package reach
+
+import (
+	"fmt"
+
+	"repro/internal/bdd"
+	"repro/internal/logic"
+	"repro/internal/network"
+)
+
+// Analysis is the result of reachability on one network.
+//
+// Variable layout in the manager: latch i owns current-state var 2i and
+// next-state var 2i+1 (interleaved for compact transition relations);
+// primary input j owns var 2L+j.
+type Analysis struct {
+	M *bdd.Manager
+	N *network.Network
+	// CurVar / NextVar index by latch position.
+	CurVar, NextVar []int
+	// InVar indexes by PI position.
+	InVar []int
+	// NodeFn maps every node to its BDD over current-state and input vars.
+	NodeFn map[*network.Node]bdd.Ref
+	// Init and Reachable are state sets over current-state vars.
+	Init      bdd.Ref
+	Reachable bdd.Ref
+	// Depth is the number of image steps until the fixpoint.
+	Depth int
+}
+
+// Limits bounds the analysis; zero values mean "no limit".
+type Limits struct {
+	MaxLatches  int // refuse circuits with more registers than this
+	MaxBDDNodes int // abort when the manager exceeds this many nodes
+}
+
+// DefaultLimits keeps implicit enumeration within laptop-friendly bounds,
+// mirroring the scalability wall the paper describes for this approach.
+var DefaultLimits = Limits{MaxLatches: 24, MaxBDDNodes: 2_000_000}
+
+// ErrTooLarge is returned when the circuit exceeds the configured limits.
+var ErrTooLarge = fmt.Errorf("reach: circuit exceeds implicit-enumeration limits")
+
+// Analyze computes the reachable state set from the declared initial state.
+func Analyze(n *network.Network, lim Limits) (a *Analysis, err error) {
+	L := len(n.Latches)
+	if lim.MaxLatches > 0 && L > lim.MaxLatches {
+		return nil, ErrTooLarge
+	}
+	nv := 2*L + len(n.PIs)
+	m := bdd.New(nv)
+	m.MaxNodes = lim.MaxBDDNodes
+	defer func() {
+		if r := recover(); r != nil {
+			if r == bdd.ErrNodeLimit {
+				a, err = nil, ErrTooLarge
+				return
+			}
+			panic(r)
+		}
+	}()
+
+	a = &Analysis{
+		M: m, N: n,
+		CurVar:  make([]int, L),
+		NextVar: make([]int, L),
+		InVar:   make([]int, len(n.PIs)),
+		NodeFn:  make(map[*network.Node]bdd.Ref),
+	}
+	for i := 0; i < L; i++ {
+		a.CurVar[i] = 2 * i
+		a.NextVar[i] = 2*i + 1
+	}
+	for j := range n.PIs {
+		a.InVar[j] = 2*L + j
+	}
+	if err := a.buildNodeFns(); err != nil {
+		return nil, err
+	}
+
+	// Initial state: conjunction of defined latch values (X unconstrained).
+	init := bdd.True
+	for i, l := range n.Latches {
+		switch l.Init {
+		case network.V0:
+			init = m.And(init, m.NVar(a.CurVar[i]))
+		case network.V1:
+			init = m.And(init, m.Var(a.CurVar[i]))
+		}
+	}
+	a.Init = init
+
+	// Transition relation: ∏ (next_i ↔ δ_i).
+	tr := bdd.True
+	for i, l := range n.Latches {
+		delta := a.NodeFn[l.Driver]
+		tr = m.And(tr, m.Xnor(m.Var(a.NextVar[i]), delta))
+	}
+
+	// Quantification schedule: current vars and inputs.
+	quant := make([]bool, nv)
+	for _, v := range a.CurVar {
+		quant[v] = true
+	}
+	for _, v := range a.InVar {
+		quant[v] = true
+	}
+	// Rename next -> current.
+	perm := make([]int, nv)
+	for i := range perm {
+		perm[i] = i
+	}
+	for i := 0; i < L; i++ {
+		perm[a.NextVar[i]] = a.CurVar[i]
+		perm[a.CurVar[i]] = a.NextVar[i]
+	}
+
+	reached := init
+	frontier := init
+	for depth := 0; ; depth++ {
+		img := m.AndExists(frontier, tr, quant)
+		img = m.Permute(img, perm)
+		newStates := m.And(img, m.Not(reached))
+		if newStates == bdd.False {
+			a.Depth = depth
+			break
+		}
+		reached = m.Or(reached, newStates)
+		frontier = newStates
+	}
+	a.Reachable = reached
+	return a, nil
+}
+
+// buildNodeFns computes every node's BDD over current-state and input vars.
+func (a *Analysis) buildNodeFns() error {
+	m := a.M
+	for j, p := range a.N.PIs {
+		a.NodeFn[p] = m.Var(a.InVar[j])
+	}
+	for i, l := range a.N.Latches {
+		a.NodeFn[l.Output] = m.Var(a.CurVar[i])
+	}
+	order, err := a.N.TopoOrder()
+	if err != nil {
+		return err
+	}
+	for _, v := range order {
+		f := bdd.False
+		for _, c := range v.Func.Cubes {
+			cube := bdd.True
+			for pin := 0; pin < c.N; pin++ {
+				fiRef := a.NodeFn[v.Fanins[pin]]
+				switch c.Lit(pin) {
+				case logic.LitPos:
+					cube = m.And(cube, fiRef)
+				case logic.LitNeg:
+					cube = m.And(cube, m.Not(fiRef))
+				case logic.LitNone:
+					cube = bdd.False
+				}
+			}
+			f = m.Or(f, cube)
+		}
+		a.NodeFn[v] = f
+	}
+	return nil
+}
+
+// NumReachable returns the number of reachable states.
+func (a *Analysis) NumReachable() float64 {
+	// SatCount counts over all manager variables; divide out next-state
+	// and input vars, which Reachable does not depend on.
+	total := a.M.SatCount(a.Reachable)
+	free := len(a.NextVar) + len(a.InVar)
+	for i := 0; i < free; i++ {
+		total /= 2
+	}
+	return total
+}
+
+// UnreachableDC projects the reachable set onto the given latch positions
+// and returns the complement as a SOP cover over len(latchIdx) variables:
+// cover variable k corresponds to latchIdx[k]. A partial state assignment
+// is a don't care only if every completion of it is unreachable, so the
+// projection quantifies the other latches existentially before
+// complementing.
+func (a *Analysis) UnreachableDC(latchIdx []int) *logic.Cover {
+	keep := make(map[int]bool, len(latchIdx))
+	for _, i := range latchIdx {
+		keep[i] = true
+	}
+	quant := make([]bool, a.M.NumVars())
+	for i, v := range a.CurVar {
+		if !keep[i] {
+			quant[v] = true
+		}
+	}
+	proj := a.M.Exists(a.Reachable, quant)
+	unreach := a.M.Not(proj)
+	// Re-express over a compact variable space.
+	full := a.M.ToCover(unreach, a.M.NumVars())
+	varMap := make([]int, a.M.NumVars())
+	for i := range varMap {
+		varMap[i] = -1
+	}
+	for k, i := range latchIdx {
+		varMap[a.CurVar[i]] = k
+	}
+	out := logic.NewCover(len(latchIdx))
+	for _, c := range full.Cubes {
+		d := logic.NewCube(len(latchIdx))
+		ok := true
+		for v := 0; v < c.N; v++ {
+			if l := c.Lit(v); l != logic.LitBoth {
+				if varMap[v] < 0 {
+					ok = false
+					break
+				}
+				d.SetLit(varMap[v], l)
+			}
+		}
+		if ok {
+			out.Add(d)
+		}
+	}
+	return out
+}

@@ -1,0 +1,145 @@
+package reach
+
+import (
+	"testing"
+
+	"repro/internal/blif"
+	"repro/internal/logic"
+	"repro/internal/network"
+)
+
+// counter3 is a free-running 3-bit counter: all 8 states reachable.
+const counter3 = `
+.model cnt3
+.inputs en
+.outputs y
+.latch d0 s0 0
+.latch d1 s1 0
+.latch d2 s2 0
+.names s0 en d0
+10 1
+01 1
+.names s0 en c0
+11 1
+.names s1 c0 d1
+10 1
+01 1
+.names s1 c0 c1
+11 1
+.names s2 c1 d2
+10 1
+01 1
+.names s2 s1 s0 y
+111 1
+.end
+`
+
+func TestCounterFullyReachable(t *testing.T) {
+	n, err := blif.ParseString(counter3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := Analyze(n, DefaultLimits)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := a.NumReachable(); got != 8 {
+		t.Fatalf("reachable = %v, want 8", got)
+	}
+	if a.Depth < 7 {
+		t.Fatalf("depth = %d, expected at least 7 image steps", a.Depth)
+	}
+}
+
+// oneHotRing: a 3-stage one-hot ring counter: only 3 of 8 states reachable.
+func oneHotRing(t *testing.T) *network.Network {
+	t.Helper()
+	n := network.New("ring")
+	_ = n.AddPI("tick")
+	buf := logic.MustParseCover(1, "1")
+	l0 := n.AddLatch("r0", nil, network.V1)
+	l1 := n.AddLatch("r1", nil, network.V0)
+	l2 := n.AddLatch("r2", nil, network.V0)
+	b0 := n.AddLogic("b0", []*network.Node{l2.Output}, buf.Clone())
+	b1 := n.AddLogic("b1", []*network.Node{l0.Output}, buf.Clone())
+	b2 := n.AddLogic("b2", []*network.Node{l1.Output}, buf.Clone())
+	l0.Driver = b0
+	l1.Driver = b1
+	l2.Driver = b2
+	n.AddPO("y", l2.Output)
+	if err := n.Check(); err != nil {
+		t.Fatal(err)
+	}
+	return n
+}
+
+func TestRingReachability(t *testing.T) {
+	n := oneHotRing(t)
+	a, err := Analyze(n, DefaultLimits)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := a.NumReachable(); got != 3 {
+		t.Fatalf("reachable = %v, want 3", got)
+	}
+}
+
+func TestUnreachableDCRing(t *testing.T) {
+	n := oneHotRing(t)
+	a, err := Analyze(n, DefaultLimits)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Projection onto all three latches: unreachable set must contain
+	// 000 and 111 and exclude the three one-hot codes.
+	dc := a.UnreachableDC([]int{0, 1, 2})
+	check := func(bits []bool, wantDC bool) {
+		if dc.Eval(bits) != wantDC {
+			t.Fatalf("state %v: dc=%v want %v", bits, dc.Eval(bits), wantDC)
+		}
+	}
+	check([]bool{false, false, false}, true)
+	check([]bool{true, true, true}, true)
+	check([]bool{true, false, false}, false)
+	check([]bool{false, true, false}, false)
+	check([]bool{false, false, true}, false)
+	check([]bool{true, true, false}, true)
+
+	// Projection onto latches {0,1}: every partial assignment has some
+	// reachable completion except (1,1): states 110/111 are unreachable.
+	dc2 := a.UnreachableDC([]int{0, 1})
+	if !dc2.Eval([]bool{true, true}) {
+		t.Fatal("(r0,r1)=(1,1) must be a projected don't care")
+	}
+	if dc2.Eval([]bool{false, false}) {
+		t.Fatal("(0,0) completes to reachable 001; not a don't care")
+	}
+}
+
+func TestInitXUnconstrained(t *testing.T) {
+	// A latch with X init contributes both values to the initial set.
+	n := network.New("x")
+	_ = n.AddPI("a")
+	l := n.AddLatch("s", nil, network.VX)
+	buf := logic.MustParseCover(1, "1")
+	b := n.AddLogic("b", []*network.Node{l.Output}, buf.Clone())
+	l.Driver = b
+	n.AddPO("y", l.Output)
+	a, err := Analyze(n, DefaultLimits)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := a.NumReachable(); got != 2 {
+		t.Fatalf("reachable = %v, want 2", got)
+	}
+}
+
+func TestLimits(t *testing.T) {
+	n, _ := blif.ParseString(counter3)
+	if _, err := Analyze(n, Limits{MaxLatches: 2}); err != ErrTooLarge {
+		t.Fatalf("latch limit not enforced: %v", err)
+	}
+	if _, err := Analyze(n, Limits{MaxBDDNodes: 8}); err != ErrTooLarge {
+		t.Fatalf("node limit not enforced: %v", err)
+	}
+}

@@ -1,0 +1,200 @@
+package retime
+
+import "math"
+
+// mcmf is a small successive-shortest-path min-cost-flow solver used to
+// solve the dual of the min-area retiming LP (Leiserson–Saxe OPT): the
+// difference-constraint LP  min Σ c_v r_v  s.t.  r_u − r_v ≤ b_a  is the
+// dual of a transshipment problem whose optimal node potentials give the
+// optimal lags.
+type mcmf struct {
+	n    int
+	head []int
+	arcs []arc
+}
+
+type arc struct {
+	to, next int
+	cap      int64
+	cost     int64
+}
+
+func newMCMF(n int) *mcmf {
+	h := make([]int, n)
+	for i := range h {
+		h[i] = -1
+	}
+	return &mcmf{n: n, head: h}
+}
+
+// addArc inserts a directed arc and its residual twin.
+func (m *mcmf) addArc(u, v int, cap, cost int64) {
+	m.arcs = append(m.arcs, arc{to: v, next: m.head[u], cap: cap, cost: cost})
+	m.head[u] = len(m.arcs) - 1
+	m.arcs = append(m.arcs, arc{to: u, next: m.head[v], cap: 0, cost: -cost})
+	m.head[v] = len(m.arcs) - 1
+}
+
+const infCap = int64(1) << 40
+
+// solve routes the given supplies (positive = source, negative = sink;
+// they must sum to zero) at minimum cost. Returns false if the supplies
+// cannot be routed.
+func (m *mcmf) solve(supply []int64) bool {
+	// Super source / sink.
+	s, t := m.n, m.n+1
+	m.head = append(m.head, -1, -1)
+	m.n += 2
+	var total int64
+	for v, sp := range supply {
+		if sp > 0 {
+			m.addArc(s, v, sp, 0)
+			total += sp
+		} else if sp < 0 {
+			m.addArc(v, t, -sp, 0)
+		}
+	}
+	for total > 0 {
+		dist, parent := m.bellmanFord(s)
+		if dist[t] == math.MaxInt64 {
+			return false
+		}
+		// Bottleneck along the path.
+		push := total
+		for v := t; v != s; {
+			a := parent[v]
+			if m.arcs[a].cap < push {
+				push = m.arcs[a].cap
+			}
+			v = m.arcs[a^1].to
+		}
+		for v := t; v != s; {
+			a := parent[v]
+			m.arcs[a].cap -= push
+			m.arcs[a^1].cap += push
+			v = m.arcs[a^1].to
+		}
+		total -= push
+	}
+	return true
+}
+
+// bellmanFord computes shortest distances from src over residual arcs,
+// returning the distance array and the arc used to enter each node.
+func (m *mcmf) bellmanFord(src int) ([]int64, []int) {
+	dist := make([]int64, m.n)
+	parent := make([]int, m.n)
+	inQ := make([]bool, m.n)
+	pops := make([]int, m.n)
+	for i := range dist {
+		dist[i] = math.MaxInt64
+		parent[i] = -1
+	}
+	dist[src] = 0
+	queue := []int{src}
+	inQ[src] = true
+	for len(queue) > 0 {
+		u := queue[0]
+		queue = queue[1:]
+		inQ[u] = false
+		pops[u]++
+		if pops[u] > m.n+1 {
+			// Negative cycle: the difference constraints are infeasible.
+			// Report every node unreachable so the caller fails cleanly.
+			for i := range dist {
+				if i != src {
+					dist[i] = math.MaxInt64
+					parent[i] = -1
+				}
+			}
+			return dist, parent
+		}
+		for a := m.head[u]; a != -1; a = m.arcs[a].next {
+			if m.arcs[a].cap <= 0 {
+				continue
+			}
+			v := m.arcs[a].to
+			if nd := dist[u] + m.arcs[a].cost; nd < dist[v] {
+				dist[v] = nd
+				parent[v] = a
+				if !inQ[v] {
+					queue = append(queue, v)
+					inQ[v] = true
+				}
+			}
+		}
+	}
+	return dist, parent
+}
+
+// potentials returns distances from an implicit all-nodes virtual source
+// over the residual graph (so every node is reachable). In an optimal
+// residual network these distances are feasible potentials: for every
+// residual arc (u,v,c): dist[v] ≤ dist[u] + c. The optimal LP duals are
+// r_u = −dist[u].
+func (m *mcmf) potentials(nReal int) ([]int64, bool) {
+	dist := make([]int64, m.n)
+	inQ := make([]bool, m.n)
+	pops := make([]int, m.n)
+	queue := make([]int, 0, m.n)
+	for i := range dist {
+		dist[i] = 0 // virtual source with 0-cost arcs to every node
+		inQ[i] = true
+		queue = append(queue, i)
+	}
+	for len(queue) > 0 {
+		u := queue[0]
+		queue = queue[1:]
+		inQ[u] = false
+		pops[u]++
+		if pops[u] > m.n+1 {
+			return nil, false // negative residual cycle: infeasible LP
+		}
+		for a := m.head[u]; a != -1; a = m.arcs[a].next {
+			if m.arcs[a].cap <= 0 {
+				continue
+			}
+			v := m.arcs[a].to
+			if nd := dist[u] + m.arcs[a].cost; nd < dist[v] {
+				dist[v] = nd
+				if !inQ[v] {
+					queue = append(queue, v)
+					inQ[v] = true
+				}
+			}
+		}
+	}
+	return dist[:nReal], true
+}
+
+// solveDifferenceLP minimizes Σ coef_v · r_v subject to r_u − r_v ≤ bound
+// for each constraint, over integers. Constraints must admit r = 0 (all
+// bounds ≥ 0 is sufficient). Returns the optimal assignment.
+func solveDifferenceLP(nVars int, coef []int64, cons []constraint) ([]int64, bool) {
+	m := newMCMF(nVars)
+	for _, c := range cons {
+		m.addArc(c.u, c.v, infCap, c.bound)
+	}
+	// Transshipment balances: node u must have net outflow −coef_u.
+	supply := make([]int64, nVars)
+	for v := range supply {
+		supply[v] = -coef[v]
+	}
+	if !m.solve(supply) {
+		return nil, false
+	}
+	dist, ok := m.potentials(nVars)
+	if !ok {
+		return nil, false
+	}
+	r := make([]int64, nVars)
+	for v := range r {
+		r[v] = -dist[v]
+	}
+	return r, true
+}
+
+type constraint struct {
+	u, v  int
+	bound int64
+}

@@ -1,0 +1,522 @@
+package retime
+
+import (
+	"testing"
+
+	"repro/internal/logic"
+	"repro/internal/network"
+	"repro/internal/seqverify"
+	"repro/internal/sim"
+)
+
+func buf() *logic.Cover  { return logic.MustParseCover(1, "1") }
+func and2() *logic.Cover { return logic.MustParseCover(2, "11") }
+func or2() *logic.Cover  { return logic.MustParseCover(2, "1-", "-1") }
+func xor2() *logic.Cover { return logic.MustParseCover(2, "10", "01") }
+
+// pipeline3 is a 3-gate chain with all 3 registers bunched at the end —
+// retiming balances it to period 1.
+func pipeline3(t *testing.T) *network.Network {
+	t.Helper()
+	n := network.New("pipe3")
+	a := n.AddPI("a")
+	g1 := n.AddLogic("g1", []*network.Node{a}, buf())
+	g2 := n.AddLogic("g2", []*network.Node{g1}, buf())
+	g3 := n.AddLogic("g3", []*network.Node{g2}, buf())
+	l1 := n.AddLatch("q1", g3, network.V0)
+	l2 := n.AddLatch("q2", l1.Output, network.V0)
+	l3 := n.AddLatch("q3", l2.Output, network.V0)
+	n.AddPO("y", l3.Output)
+	if err := n.Check(); err != nil {
+		t.Fatal(err)
+	}
+	return n
+}
+
+func TestBuildGraphChainWeights(t *testing.T) {
+	n := pipeline3(t)
+	g, err := BuildGraph(n, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(g.Nodes) != 3 {
+		t.Fatalf("vertices = %d", len(g.Nodes))
+	}
+	if g.NumRegisters() != 3 {
+		t.Fatalf("graph registers = %d", g.NumRegisters())
+	}
+	// The g3->host edge must carry all three registers.
+	found := false
+	for _, e := range g.Edges {
+		if e.To == Host && e.W == 3 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("register chain not collapsed onto PO edge: %+v", g.Edges)
+	}
+	p, err := g.Period(nil)
+	if err != nil || p != 3 {
+		t.Fatalf("period = %v err=%v", p, err)
+	}
+}
+
+func TestForwardMove(t *testing.T) {
+	// r1, r2 feed an AND; forward retiming yields one register with
+	// init = AND(inits).
+	n := network.New("fwd")
+	a := n.AddPI("a")
+	b := n.AddPI("b")
+	l1 := n.AddLatch("r1", a, network.V1)
+	l2 := n.AddLatch("r2", b, network.V1)
+	g := n.AddLogic("g", []*network.Node{l1.Output, l2.Output}, and2())
+	n.AddPO("y", g)
+	ref := n.Clone()
+
+	if !ForwardRetimable(n, g) {
+		t.Fatal("g must be forward-retimable")
+	}
+	nl, err := Forward(n, g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nl.Init != network.V1 {
+		t.Fatalf("new init = %v, want 1 = AND(1,1)", nl.Init)
+	}
+	if len(n.Latches) != 1 {
+		t.Fatalf("latches = %d, want 1", len(n.Latches))
+	}
+	if err := n.Check(); err != nil {
+		t.Fatal(err)
+	}
+	if err := seqverify.Equivalent(ref, n, seqverify.Options{}); err != nil {
+		t.Fatalf("forward move broke equivalence: %v", err)
+	}
+}
+
+func TestForwardMoveInitZero(t *testing.T) {
+	n := network.New("fwd0")
+	a := n.AddPI("a")
+	b := n.AddPI("b")
+	l1 := n.AddLatch("r1", a, network.V1)
+	l2 := n.AddLatch("r2", b, network.V0)
+	g := n.AddLogic("g", []*network.Node{l1.Output, l2.Output}, and2())
+	n.AddPO("y", g)
+	nl, err := Forward(n, g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nl.Init != network.V0 {
+		t.Fatalf("init = %v, want 0", nl.Init)
+	}
+}
+
+func TestForwardSharedRegisterStays(t *testing.T) {
+	// r1 also feeds another consumer: the register must survive the move.
+	n := network.New("shared")
+	a := n.AddPI("a")
+	b := n.AddPI("b")
+	l1 := n.AddLatch("r1", a, network.V0)
+	l2 := n.AddLatch("r2", b, network.V0)
+	g := n.AddLogic("g", []*network.Node{l1.Output, l2.Output}, and2())
+	other := n.AddLogic("other", []*network.Node{l1.Output}, buf())
+	n.AddPO("y", g)
+	n.AddPO("z", other)
+	ref := n.Clone()
+	if _, err := Forward(n, g); err != nil {
+		t.Fatal(err)
+	}
+	if len(n.Latches) != 2 { // r1 kept (other consumer), r2 replaced by new
+		t.Fatalf("latches = %d, want 2", len(n.Latches))
+	}
+	if err := seqverify.Equivalent(ref, n, seqverify.Options{}); err != nil {
+		t.Fatalf("equivalence: %v", err)
+	}
+}
+
+func TestBackwardMove(t *testing.T) {
+	// g drives a single register with init 1; backward move must pick a
+	// preimage assignment with AND = 1, i.e. both new inits 1.
+	n := network.New("bwd")
+	a := n.AddPI("a")
+	b := n.AddPI("b")
+	g := n.AddLogic("g", []*network.Node{a, b}, and2())
+	l := n.AddLatch("q", g, network.V1)
+	n.AddPO("y", l.Output)
+	ref := n.Clone()
+	if !BackwardRetimable(n, g) {
+		t.Fatal("must be backward-retimable")
+	}
+	nls, err := Backward(n, g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(nls) != 2 || nls[0].Init != network.V1 || nls[1].Init != network.V1 {
+		t.Fatalf("new inits: %v %v", nls[0].Init, nls[1].Init)
+	}
+	if err := n.Check(); err != nil {
+		t.Fatal(err)
+	}
+	if err := seqverify.Equivalent(ref, n, seqverify.Options{}); err != nil {
+		t.Fatalf("backward move broke equivalence: %v", err)
+	}
+}
+
+func TestBackwardConflictingInitsFails(t *testing.T) {
+	// Two registers with different initial values after the same node:
+	// exactly the Fig. 2 impossibility.
+	n := network.New("conflict")
+	a := n.AddPI("a")
+	g := n.AddLogic("g", []*network.Node{a}, buf())
+	l1 := n.AddLatch("q1", g, network.V0)
+	l2 := n.AddLatch("q2", g, network.V1)
+	c := n.AddLogic("c", []*network.Node{l1.Output, l2.Output}, xor2())
+	n.AddPO("y", c)
+	if BackwardRetimable(n, g) {
+		t.Fatal("conflicting inits must block backward retiming")
+	}
+}
+
+func TestBackwardUnsatisfiableInitFails(t *testing.T) {
+	// A constant-0 node cannot produce a register init of 1.
+	n := network.New("unsat")
+	_ = n.AddPI("a")
+	k := n.AddConst("k0", false)
+	l := n.AddLatch("q", k, network.V1)
+	n.AddPO("y", l.Output)
+	if BackwardRetimable(n, k) {
+		t.Fatal("const 0 cannot backward-retime an init-1 register")
+	}
+}
+
+func TestSplitFanoutStem(t *testing.T) {
+	n := network.New("split")
+	a := n.AddPI("a")
+	l := n.AddLatch("r", a, network.V1)
+	g1 := n.AddLogic("g1", []*network.Node{l.Output}, buf())
+	g2 := n.AddLogic("g2", []*network.Node{l.Output}, buf())
+	n.AddPO("y1", g1)
+	n.AddPO("y2", g2)
+	ref := n.Clone()
+	created, err := SplitFanoutStem(n, l)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(created) != 2 {
+		t.Fatalf("created %d registers, want 2", len(created))
+	}
+	for _, nl := range created {
+		if nl.Init != network.V1 || nl.Driver != n.FindNode("a") {
+			t.Fatal("split register init/driver wrong")
+		}
+	}
+	if len(n.Latches) != 2 {
+		t.Fatalf("latches = %d", len(n.Latches))
+	}
+	if err := n.Check(); err != nil {
+		t.Fatal(err)
+	}
+	if err := seqverify.Equivalent(ref, n, seqverify.Options{Delay: 1}); err != nil {
+		t.Fatalf("stem split not delayed-equivalent: %v", err)
+	}
+	// With equal initial states this split is even safe-equivalent.
+	if err := seqverify.Equivalent(ref, n, seqverify.Options{}); err != nil {
+		t.Fatalf("stem split with preserved inits must be safe: %v", err)
+	}
+}
+
+func TestMergeSiblingRegistersInvertsSplit(t *testing.T) {
+	n := network.New("merge")
+	a := n.AddPI("a")
+	l := n.AddLatch("r", a, network.V0)
+	g1 := n.AddLogic("g1", []*network.Node{l.Output}, buf())
+	g2 := n.AddLogic("g2", []*network.Node{l.Output}, buf())
+	n.AddPO("y1", g1)
+	n.AddPO("y2", g2)
+	if _, err := SplitFanoutStem(n, l); err != nil {
+		t.Fatal(err)
+	}
+	if len(n.Latches) != 2 {
+		t.Fatal("split failed")
+	}
+	if m := MergeSiblingRegisters(n); m != 1 {
+		t.Fatalf("merged %d, want 1", m)
+	}
+	if len(n.Latches) != 1 {
+		t.Fatal("merge failed")
+	}
+	if err := n.Check(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMinPeriodPipeline(t *testing.T) {
+	n := pipeline3(t)
+	ret, info, err := MinPeriod(n, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.PeriodBefore != 3 || info.PeriodAfter != 1 {
+		t.Fatalf("period %v -> %v, want 3 -> 1", info.PeriodBefore, info.PeriodAfter)
+	}
+	p, err := periodOf(ret, nil)
+	if err != nil || p != 1 {
+		t.Fatalf("realized period = %v err=%v", p, err)
+	}
+	// Pipeline latency must be preserved: with X-free original this is
+	// checkable exactly (backward moves may introduce fresh-but-consistent
+	// initial values).
+	if err := seqverify.Equivalent(n, ret, seqverify.Options{}); err != nil {
+		t.Fatalf("retimed pipeline not equivalent: %v", err)
+	}
+}
+
+func TestMinPeriodFSM(t *testing.T) {
+	// A feedback circuit: r -> g1 -> g2 -> g3 -> r, with PO after g3.
+	// Min period = 3 cannot improve the cycle-total, but register can move
+	// around the loop; equivalence must hold regardless.
+	n := network.New("loop")
+	a := n.AddPI("a")
+	l := n.AddLatch("r", nil, network.V0)
+	g1 := n.AddLogic("g1", []*network.Node{l.Output, a}, xor2())
+	g2 := n.AddLogic("g2", []*network.Node{g1}, buf())
+	g3 := n.AddLogic("g3", []*network.Node{g2}, buf())
+	l.Driver = g3
+	n.AddPO("y", g3)
+	if err := n.Check(); err != nil {
+		t.Fatal(err)
+	}
+	ret, info, err := MinPeriod(n, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.PeriodAfter > info.PeriodBefore {
+		t.Fatalf("period regressed: %v", info)
+	}
+	if err := seqverify.Equivalent(n, ret, seqverify.Options{}); err != nil {
+		t.Fatalf("retimed FSM not equivalent: %v", err)
+	}
+}
+
+func TestMinPeriodBalancesTwoSided(t *testing.T) {
+	// Registers at both ends; optimal period 2 for a 4-gate chain with 2
+	// movable registers.
+	n := network.New("bal")
+	a := n.AddPI("a")
+	l1 := n.AddLatch("q1", a, network.V0)
+	g1 := n.AddLogic("g1", []*network.Node{l1.Output}, buf())
+	g2 := n.AddLogic("g2", []*network.Node{g1}, buf())
+	g3 := n.AddLogic("g3", []*network.Node{g2}, buf())
+	g4 := n.AddLogic("g4", []*network.Node{g3}, buf())
+	l2 := n.AddLatch("q2", g4, network.V0)
+	n.AddPO("y", l2.Output)
+	ret, info, err := MinPeriod(n, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.PeriodAfter != 2 {
+		t.Fatalf("period = %v, want 2", info.PeriodAfter)
+	}
+	if err := sim.RandomEquivalent(n, ret, 0, 300, 17); err != nil {
+		t.Fatalf("balance retiming broke behaviour: %v", err)
+	}
+}
+
+func TestWDMatrices(t *testing.T) {
+	n := pipeline3(t)
+	g, _ := BuildGraph(n, nil)
+	w, d := g.wdMatrices()
+	i1, i2, i3 := g.Index[n.FindNode("g1")], g.Index[n.FindNode("g2")], g.Index[n.FindNode("g3")]
+	if w[i1][i3] != 0 {
+		t.Fatalf("W(g1,g3) = %d, want 0", w[i1][i3])
+	}
+	if d[i1][i3] != 3 {
+		t.Fatalf("D(g1,g3) = %v, want 3", d[i1][i3])
+	}
+	if w[i1][i2] != 0 || d[i1][i2] != 2 {
+		t.Fatalf("W,D(g1,g2) = %d,%v", w[i1][i2], d[i1][i2])
+	}
+	// Combinational paths never pass through the host (environment), so
+	// g3 -> g1 must be unreachable in the W matrix.
+	if w[i3][i1] < (1 << 29) {
+		t.Fatalf("W(g3,g1) = %d, want unreachable (host is endpoint-only)", w[i3][i1])
+	}
+}
+
+// bruteMinArea enumerates small lag vectors to verify the LP solver.
+func bruteMinArea(g *Graph, c float64, bound int) (best int, ok bool) {
+	nv := len(g.Nodes) + 1
+	r := make([]int, nv)
+	best = 1 << 30
+	var rec func(v int)
+	rec = func(v int) {
+		if v == nv {
+			ws, err := g.Retimed(r)
+			if err != nil {
+				return
+			}
+			if p, err := g.Period(r); err != nil || p > c+1e-9 {
+				return
+			}
+			tot := 0
+			for _, w := range ws {
+				tot += w
+			}
+			if tot < best {
+				best = tot
+				ok = true
+			}
+			return
+		}
+		for x := -bound; x <= bound; x++ {
+			r[v] = x
+			rec(v + 1)
+		}
+		r[v] = 0
+	}
+	r[Host] = 0
+	rec(1)
+	return best, ok
+}
+
+func TestMinAreaLagsMatchBruteForce(t *testing.T) {
+	n := pipeline3(t)
+	g, _ := BuildGraph(n, nil)
+	for _, c := range []float64{1, 2, 3} {
+		r, err := g.MinAreaLags(c)
+		if err != nil {
+			t.Fatalf("c=%v: %v", c, err)
+		}
+		ws, err := g.Retimed(r)
+		if err != nil {
+			t.Fatalf("c=%v: illegal lags", c)
+		}
+		got := 0
+		for _, w := range ws {
+			got += w
+		}
+		want, ok := bruteMinArea(g, c, 3)
+		if !ok {
+			t.Fatalf("c=%v: brute force found nothing", c)
+		}
+		if got != want {
+			t.Fatalf("c=%v: LP registers %d, brute force %d", c, got, want)
+		}
+		if p, _ := g.Period(r); p > c+1e-9 {
+			t.Fatalf("c=%v: period %v violated", c, p)
+		}
+	}
+}
+
+func TestMinAreaMergesSplitRegisters(t *testing.T) {
+	// Split a stem, then ask min-area to undo it under the same period.
+	n := network.New("ma")
+	a := n.AddPI("a")
+	l := n.AddLatch("r", a, network.V0)
+	g1 := n.AddLogic("g1", []*network.Node{l.Output}, buf())
+	g2 := n.AddLogic("g2", []*network.Node{l.Output}, buf())
+	n.AddPO("y1", g1)
+	n.AddPO("y2", g2)
+	if _, err := SplitFanoutStem(n, l); err != nil {
+		t.Fatal(err)
+	}
+	p, _ := periodOf(n, nil)
+	ret, info, err := MinAreaUnderPeriod(n, nil, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.RegsAfter != 1 {
+		t.Fatalf("registers after min-area = %d, want 1", info.RegsAfter)
+	}
+	if err := seqverify.Equivalent(n, ret, seqverify.Options{}); err != nil {
+		t.Fatalf("min-area broke equivalence: %v", err)
+	}
+}
+
+func TestMinAreaRespectsPeriod(t *testing.T) {
+	// Balanced pipeline at period 1 with 3 registers: min-area at c=1 must
+	// keep enough registers to hold period 1; at c=3 it may drop to 1.
+	n := network.New("resp")
+	a := n.AddPI("a")
+	l1 := n.AddLatch("q1", nil, network.V0)
+	g1 := n.AddLogic("g1", []*network.Node{a}, buf())
+	l1.Driver = g1
+	g2 := n.AddLogic("g2", []*network.Node{l1.Output}, buf())
+	l2 := n.AddLatch("q2", g2, network.V0)
+	g3 := n.AddLogic("g3", []*network.Node{l2.Output}, buf())
+	l3 := n.AddLatch("q3", g3, network.V0)
+	n.AddPO("y", l3.Output)
+	retTight, infoTight, err := MinAreaUnderPeriod(n, nil, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p, _ := periodOf(retTight, nil); p > 1 {
+		t.Fatalf("tight min-area period %v", p)
+	}
+	retLoose, infoLoose, err := MinAreaUnderPeriod(n, nil, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if infoLoose.RegsAfter > infoTight.RegsAfter {
+		t.Fatalf("looser budget must not need more registers: %d vs %d",
+			infoLoose.RegsAfter, infoTight.RegsAfter)
+	}
+	if p, _ := periodOf(retLoose, nil); p > 3 {
+		t.Fatalf("loose min-area period %v", p)
+	}
+	if err := sim.RandomEquivalent(n, retLoose, 0, 200, 23); err != nil {
+		t.Fatalf("loose min-area equivalence: %v", err)
+	}
+}
+
+func TestRemoveConstantRegisters(t *testing.T) {
+	n := network.New("kreg")
+	a := n.AddPI("a")
+	one := n.AddConst("k1", true)
+	zero := n.AddConst("k0", false)
+	// Removable: driver constant matches init.
+	l1 := n.AddLatch("q1", one, network.V1)
+	l0 := n.AddLatch("q0", zero, network.V0)
+	// Not removable: cycle-0 value differs from the steady state.
+	lx := n.AddLatch("qx", one, network.V0)
+	and3 := logic.MustParseCover(4, "1111")
+	g := n.AddLogic("g", []*network.Node{l1.Output, l0.Output, lx.Output, a}, and3)
+	n.AddPO("y", g)
+	ref := n.Clone()
+
+	removed := RemoveConstantRegisters(n)
+	if removed != 2 {
+		t.Fatalf("removed %d, want 2", removed)
+	}
+	if len(n.Latches) != 1 || n.Latches[0].Name != "qx" {
+		t.Fatalf("wrong survivor set: %v", n.Latches)
+	}
+	if err := n.Check(); err != nil {
+		t.Fatal(err)
+	}
+	if err := seqverify.Equivalent(ref, n, seqverify.Options{}); err != nil {
+		t.Fatalf("constant-register removal broke equivalence: %v", err)
+	}
+}
+
+func TestRemoveConstantRegistersChain(t *testing.T) {
+	// A chain const -> q1 -> q2 (all matching inits) collapses entirely.
+	n := network.New("kchain")
+	one := n.AddConst("k1", true)
+	l1 := n.AddLatch("q1", one, network.V1)
+	buf1 := n.AddLogic("b1", []*network.Node{l1.Output}, buf())
+	l2 := n.AddLatch("q2", buf1, network.V1)
+	n.AddPO("y", l2.Output)
+	ref := n.Clone()
+	RemoveConstantRegisters(n)
+	n.Sweep()
+	// q1 removable immediately; q2's driver becomes buf(const)=non-constant
+	// node, so a second fixpoint round is needed only if buffers collapse —
+	// at minimum q1 must be gone and behaviour preserved.
+	if n.FindNode("q1") != nil {
+		t.Fatal("q1 not removed")
+	}
+	if err := seqverify.Equivalent(ref, n, seqverify.Options{}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,250 @@
+// Package seqverify checks sequential equivalence of two networks by
+// product-machine reachability, with the paper's *delayed replacement*
+// semantics (Singhal et al.): the circuits must produce identical outputs
+// on every input sequence from cycle k onward, where k is the number of
+// atomic forward retiming moves across fanout stems. k = 0 is safe
+// replacement (classic equivalence from the initial states).
+package seqverify
+
+import (
+	"fmt"
+
+	"repro/internal/bdd"
+	"repro/internal/logic"
+	"repro/internal/network"
+	"repro/internal/reach"
+)
+
+// ErrTooLarge mirrors reach.ErrTooLarge for oversized product machines.
+var ErrTooLarge = reach.ErrTooLarge
+
+// Options configures the check.
+type Options struct {
+	// Delay is the delayed-replacement prefix length k.
+	Delay int
+	// Limits bounds the BDD work; zero-valued fields take reach defaults.
+	Limits reach.Limits
+}
+
+type machine struct {
+	n       *network.Network
+	curVar  []int
+	nextVar []int
+	nodeFn  map[*network.Node]bdd.Ref
+}
+
+// Equivalent returns nil if the two networks are sequentially equivalent
+// under the configured delayed-replacement prefix. POs and PIs are matched
+// by name. A non-nil error describes the mismatch or a resource failure.
+func Equivalent(a, b *network.Network, opt Options) (err error) {
+	lim := opt.Limits
+	if lim.MaxLatches == 0 {
+		lim.MaxLatches = reach.DefaultLimits.MaxLatches
+	}
+	if lim.MaxBDDNodes == 0 {
+		lim.MaxBDDNodes = reach.DefaultLimits.MaxBDDNodes
+	}
+	if len(a.Latches)+len(b.Latches) > lim.MaxLatches {
+		return ErrTooLarge
+	}
+	if len(a.PIs) != len(b.PIs) {
+		return fmt.Errorf("seqverify: PI counts differ (%d vs %d)", len(a.PIs), len(b.PIs))
+	}
+	// Match PIs of b by name, falling back to position.
+	biByName := make(map[string]int, len(b.PIs))
+	for i, p := range b.PIs {
+		biByName[p.Name] = i
+	}
+	piOfB := make([]int, len(a.PIs))
+	for i, p := range a.PIs {
+		if j, ok := biByName[p.Name]; ok {
+			piOfB[i] = j
+		} else {
+			piOfB[i] = i
+		}
+	}
+	// Match POs by name.
+	type poPair struct{ pa, pb *network.PO }
+	var pairs []poPair
+	for _, pa := range a.POs {
+		var found *network.PO
+		for _, pb := range b.POs {
+			if pb.Name == pa.Name {
+				found = pb
+				break
+			}
+		}
+		if found == nil {
+			return fmt.Errorf("seqverify: PO %q missing in %s", pa.Name, b.Name)
+		}
+		pairs = append(pairs, poPair{pa, found})
+	}
+
+	la, lb := len(a.Latches), len(b.Latches)
+	ni := len(a.PIs)
+	nv := ni + 2*la + 2*lb
+	m := bdd.New(nv)
+	m.MaxNodes = lim.MaxBDDNodes
+	defer func() {
+		if r := recover(); r != nil {
+			if r == bdd.ErrNodeLimit {
+				err = ErrTooLarge
+				return
+			}
+			panic(r)
+		}
+	}()
+
+	ma := &machine{n: a, curVar: make([]int, la), nextVar: make([]int, la)}
+	mb := &machine{n: b, curVar: make([]int, lb), nextVar: make([]int, lb)}
+	for i := 0; i < la; i++ {
+		ma.curVar[i] = ni + 2*i
+		ma.nextVar[i] = ni + 2*i + 1
+	}
+	for i := 0; i < lb; i++ {
+		mb.curVar[i] = ni + 2*la + 2*i
+		mb.nextVar[i] = ni + 2*la + 2*i + 1
+	}
+	inVarA := make([]int, ni)
+	inVarB := make([]int, ni)
+	for i := 0; i < ni; i++ {
+		inVarA[i] = i
+		inVarB[piOfB[i]] = i
+	}
+	buildFns(m, ma, inVarA)
+	buildFns(m, mb, inVarB)
+
+	initSet := func(mc *machine) bdd.Ref {
+		s := bdd.True
+		for i, l := range mc.n.Latches {
+			switch l.Init {
+			case network.V0:
+				s = m.And(s, m.NVar(mc.curVar[i]))
+			case network.V1:
+				s = m.And(s, m.Var(mc.curVar[i]))
+			}
+		}
+		return s
+	}
+	front := m.And(initSet(ma), initSet(mb))
+
+	tr := bdd.True
+	for i, l := range a.Latches {
+		tr = m.And(tr, m.Xnor(m.Var(ma.nextVar[i]), ma.nodeFn[l.Driver]))
+	}
+	for i, l := range b.Latches {
+		tr = m.And(tr, m.Xnor(m.Var(mb.nextVar[i]), mb.nodeFn[l.Driver]))
+	}
+
+	quant := make([]bool, nv)
+	for i := 0; i < ni; i++ {
+		quant[i] = true
+	}
+	for _, v := range ma.curVar {
+		quant[v] = true
+	}
+	for _, v := range mb.curVar {
+		quant[v] = true
+	}
+	perm := make([]int, nv)
+	for i := range perm {
+		perm[i] = i
+	}
+	for i := 0; i < la; i++ {
+		perm[ma.nextVar[i]], perm[ma.curVar[i]] = ma.curVar[i], ma.nextVar[i]
+	}
+	for i := 0; i < lb; i++ {
+		perm[mb.nextVar[i]], perm[mb.curVar[i]] = mb.curVar[i], mb.nextVar[i]
+	}
+	image := func(s bdd.Ref) bdd.Ref {
+		return m.Permute(m.AndExists(s, tr, quant), perm)
+	}
+
+	// Advance the frontier through the delayed-replacement prefix.
+	for k := 0; k < opt.Delay; k++ {
+		front = image(front)
+	}
+	// Closure from the post-prefix frontier.
+	reached := front
+	for {
+		img := image(front)
+		fresh := m.And(img, m.Not(reached))
+		if fresh == bdd.False {
+			break
+		}
+		reached = m.Or(reached, fresh)
+		front = fresh
+	}
+
+	// Output equality on all reached product states, all inputs.
+	for _, pp := range pairs {
+		diff := m.Xor(ma.nodeFn[pp.pa.Driver], mb.nodeFn[pp.pb.Driver])
+		bad := m.And(reached, diff)
+		if bad != bdd.False {
+			witness := m.PickCube(bad)
+			return fmt.Errorf("seqverify: PO %q differs (delay=%d); witness %s",
+				pp.pa.Name, opt.Delay, witnessString(witness, ni, la, lb))
+		}
+	}
+	return nil
+}
+
+func buildFns(m *bdd.Manager, mc *machine, inVar []int) {
+	mc.nodeFn = make(map[*network.Node]bdd.Ref)
+	for i, p := range mc.n.PIs {
+		mc.nodeFn[p] = m.Var(inVar[i])
+	}
+	for i, l := range mc.n.Latches {
+		mc.nodeFn[l.Output] = m.Var(mc.curVar[i])
+	}
+	order, err := mc.n.TopoOrder()
+	if err != nil {
+		panic(err) // caller validated the network
+	}
+	for _, v := range order {
+		f := bdd.False
+		for _, c := range v.Func.Cubes {
+			cube := bdd.True
+			for pin := 0; pin < c.N; pin++ {
+				fi := mc.nodeFn[v.Fanins[pin]]
+				switch c.Lit(pin) {
+				case logic.LitPos:
+					cube = m.And(cube, fi)
+				case logic.LitNeg:
+					cube = m.And(cube, m.Not(fi))
+				case logic.LitNone:
+					cube = bdd.False
+				}
+			}
+			f = m.Or(f, cube)
+		}
+		mc.nodeFn[v] = f
+	}
+}
+
+func witnessString(w []logic.Lit, ni, la, lb int) string {
+	s := "in="
+	for i := 0; i < ni; i++ {
+		s += litCh(w[i])
+	}
+	s += " stateA="
+	for i := 0; i < la; i++ {
+		s += litCh(w[ni+2*i])
+	}
+	s += " stateB="
+	for i := 0; i < lb; i++ {
+		s += litCh(w[ni+2*la+2*i])
+	}
+	return s
+}
+
+func litCh(l logic.Lit) string {
+	switch l {
+	case logic.LitNeg:
+		return "0"
+	case logic.LitPos:
+		return "1"
+	default:
+		return "-"
+	}
+}

@@ -1,0 +1,177 @@
+// Package timing performs static timing analysis of a sequential network
+// under pluggable delay models (unit delay, or mapped gate delays with
+// fanout load). The clock period of a circuit is the longest combinational
+// delay between any source (PI, register output) and any sink (PO, register
+// data input) — the quantity Table I of the paper reports as "Clk.".
+package timing
+
+import (
+	"math"
+
+	"repro/internal/network"
+)
+
+// DelayModel supplies the pin-to-output delay of each logic node.
+type DelayModel interface {
+	// PinDelay returns the delay from fanin pin `pin` of node v to v's
+	// output.
+	PinDelay(v *network.Node, pin int) float64
+}
+
+// UnitDelay charges one unit per logic level — the model used in the
+// paper's worked example (Section III: "assume, for simplicity, the unit
+// delay model").
+type UnitDelay struct{}
+
+// PinDelay implements DelayModel.
+func (UnitDelay) PinDelay(v *network.Node, pin int) float64 { return 1 }
+
+// MappedDelay uses bound-gate annotations when present (area-delay data
+// from the technology library, with a per-fanout load penalty), and one
+// unit otherwise.
+type MappedDelay struct {
+	N *network.Network
+	// LoadFactor is the extra delay per fanout beyond the first.
+	LoadFactor float64
+}
+
+// PinDelay implements DelayModel.
+func (m MappedDelay) PinDelay(v *network.Node, pin int) float64 {
+	d := 1.0
+	if v.Gate != nil {
+		d = v.Gate.PinDelay(pin)
+	}
+	if m.LoadFactor > 0 && m.N != nil {
+		extra := m.N.NumFanouts(v) - 1
+		if extra > 0 {
+			d += m.LoadFactor * float64(extra)
+		}
+	}
+	return d
+}
+
+// Result holds arrival/required times and the critical path.
+type Result struct {
+	Arrival  map[*network.Node]float64
+	Required map[*network.Node]float64
+	// Period is the maximum arrival time over all combinational sinks.
+	Period float64
+	// CritSink is the logic node driving the most critical sink.
+	CritSink *network.Node
+	// critPred records, for each node, the fanin pin realizing its arrival.
+	critPred map[*network.Node]int
+}
+
+// Analyze runs STA. Sources have arrival 0; logic node arrival is the max
+// over fanins of (fanin arrival + pin delay).
+func Analyze(n *network.Network, m DelayModel) (*Result, error) {
+	order, err := n.TopoOrder()
+	if err != nil {
+		return nil, err
+	}
+	res := &Result{
+		Arrival:  make(map[*network.Node]float64, len(order)),
+		Required: make(map[*network.Node]float64, len(order)),
+		critPred: make(map[*network.Node]int, len(order)),
+	}
+	for _, p := range n.PIs {
+		res.Arrival[p] = 0
+	}
+	for _, l := range n.Latches {
+		res.Arrival[l.Output] = 0
+	}
+	for _, v := range order {
+		best, bestPin := 0.0, -1
+		for i, fi := range v.Fanins {
+			a := res.Arrival[fi] + m.PinDelay(v, i)
+			if a > best || bestPin < 0 {
+				best, bestPin = a, i
+			}
+		}
+		if len(v.Fanins) == 0 {
+			best = 0
+		}
+		res.Arrival[v] = best
+		res.critPred[v] = bestPin
+	}
+	// Period = max arrival at sinks.
+	sinkArr := func(v *network.Node) float64 { return res.Arrival[v] }
+	for _, p := range n.POs {
+		if a := sinkArr(p.Driver); a > res.Period {
+			res.Period, res.CritSink = a, p.Driver
+		}
+	}
+	for _, l := range n.Latches {
+		if a := sinkArr(l.Driver); a > res.Period {
+			res.Period, res.CritSink = a, l.Driver
+		}
+	}
+	// Required times: sinks at Period, propagate backwards.
+	for _, v := range order {
+		res.Required[v] = math.Inf(1)
+	}
+	for _, p := range n.PIs {
+		res.Required[p] = math.Inf(1)
+	}
+	for _, l := range n.Latches {
+		res.Required[l.Output] = math.Inf(1)
+	}
+	setReq := func(v *network.Node, r float64) {
+		if r < res.Required[v] {
+			res.Required[v] = r
+		}
+	}
+	for _, p := range n.POs {
+		setReq(p.Driver, res.Period)
+	}
+	for _, l := range n.Latches {
+		setReq(l.Driver, res.Period)
+	}
+	for i := len(order) - 1; i >= 0; i-- {
+		v := order[i]
+		r := res.Required[v]
+		for pin, fi := range v.Fanins {
+			setReq(fi, r-m.PinDelay(v, pin))
+		}
+	}
+	return res, nil
+}
+
+// Slack returns required - arrival for a node.
+func (r *Result) Slack(v *network.Node) float64 {
+	return r.Required[v] - r.Arrival[v]
+}
+
+// CriticalPath returns the logic nodes of one most-critical combinational
+// path, ordered from the first gate after the sources to the sink driver.
+// The leading source (PI or register output) is returned separately.
+func (r *Result) CriticalPath() (source *network.Node, path []*network.Node) {
+	if r.CritSink == nil {
+		return nil, nil
+	}
+	v := r.CritSink
+	for v != nil && !v.IsSource() {
+		path = append(path, v)
+		pin := r.critPred[v]
+		if pin < 0 || pin >= len(v.Fanins) {
+			v = nil
+			break
+		}
+		v = v.Fanins[pin]
+	}
+	source = v
+	// Reverse into input→output order.
+	for i, j := 0, len(path)-1; i < j; i, j = i+1, j-1 {
+		path[i], path[j] = path[j], path[i]
+	}
+	return source, path
+}
+
+// Period is a convenience wrapper returning just the clock period.
+func Period(n *network.Network, m DelayModel) (float64, error) {
+	r, err := Analyze(n, m)
+	if err != nil {
+		return 0, err
+	}
+	return r.Period, nil
+}
