@@ -1,0 +1,148 @@
+// Command benchflows runs the Table I benchmark registry through all
+// three evaluation flows with tracing enabled and writes BENCH_flows.json:
+// per-circuit metrics for each flow, per-pass span durations, and the
+// aggregated transformation counters. The per-pass data is recovered from
+// the tracer's JSON-lines event stream (via obs.ReadEvents), so this
+// command doubles as an end-to-end consumer of the -stats-json format.
+//
+// Usage:
+//
+//	benchflows [-out BENCH_flows.json] [-circuits ex2,bbtas,...] [-skip-large]
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/bench"
+	"repro/internal/flows"
+	"repro/internal/genlib"
+	"repro/internal/obs"
+)
+
+type flowMetrics struct {
+	Regs    int     `json:"regs"`
+	Clk     float64 `json:"clk"`
+	Area    float64 `json:"area"`
+	Note    string  `json:"note,omitempty"`
+	PrefixK int     `json:"prefix_k,omitempty"`
+}
+
+type circuitReport struct {
+	Circuit  string                 `json:"circuit"`
+	Gates    int                    `json:"gates"`
+	Latches  int                    `json:"latches"`
+	Flows    map[string]flowMetrics `json:"flows"`
+	SpanMS   map[string]float64     `json:"span_ms"`
+	Counters map[string]int64       `json:"counters"`
+	WallMS   float64                `json:"wall_ms"`
+	Error    string                 `json:"error,omitempty"`
+	Skipped  bool                   `json:"skipped,omitempty"`
+}
+
+type benchReport struct {
+	Schema   string          `json:"schema"`
+	Circuits []circuitReport `json:"circuits"`
+}
+
+func main() {
+	out := flag.String("out", "BENCH_flows.json", "output JSON file")
+	circuitsFlag := flag.String("circuits", "", "comma-separated circuit names (default: all of Table I)")
+	skipLarge := flag.Bool("skip-large", false, "skip circuits with more than 1000 gates")
+	flag.Parse()
+
+	suite := bench.TableI()
+	if *circuitsFlag != "" {
+		var filtered []bench.Circuit
+		for _, name := range strings.Split(*circuitsFlag, ",") {
+			c, ok := bench.ByName(strings.TrimSpace(name))
+			if !ok {
+				fmt.Fprintf(os.Stderr, "unknown circuit %q\n", name)
+				os.Exit(1)
+			}
+			filtered = append(filtered, c)
+		}
+		suite = filtered
+	}
+
+	lib := genlib.Lib2()
+	rep := benchReport{Schema: "bench_flows/v1"}
+	for _, c := range suite {
+		cr := runCircuit(c, lib, *skipLarge)
+		rep.Circuits = append(rep.Circuits, cr)
+		status := "ok"
+		switch {
+		case cr.Skipped:
+			status = "skipped"
+		case cr.Error != "":
+			status = "FAILED: " + cr.Error
+		}
+		fmt.Printf("%-10s %8.0fms  %s\n", c.Name, cr.WallMS, status)
+	}
+
+	f, err := os.Create(*out)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchflows:", err)
+		os.Exit(1)
+	}
+	defer f.Close()
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(rep); err != nil {
+		fmt.Fprintln(os.Stderr, "benchflows:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("wrote %s (%d circuits)\n", *out, len(rep.Circuits))
+}
+
+func runCircuit(c bench.Circuit, lib *genlib.Library, skipLarge bool) circuitReport {
+	cr := circuitReport{Circuit: c.Name, Flows: map[string]flowMetrics{}}
+	src, err := c.Build()
+	if err != nil {
+		cr.Error = err.Error()
+		return cr
+	}
+	cr.Gates = src.NumLogicNodes()
+	cr.Latches = len(src.Latches)
+	if skipLarge && cr.Gates > 1000 {
+		cr.Skipped = true
+		return cr
+	}
+	var buf bytes.Buffer
+	tr := obs.NewJSON(&buf)
+	start := time.Now()
+	sd, ret, rsyn, err := flows.RunAllT(src, lib, tr)
+	cr.WallMS = float64(time.Since(start)) / float64(time.Millisecond)
+	if err != nil {
+		cr.Error = err.Error()
+		return cr
+	}
+	cr.Flows["script_delay"] = asMetrics(sd)
+	cr.Flows["retime_combopt"] = asMetrics(ret)
+	cr.Flows["resynthesis"] = asMetrics(rsyn)
+	cr.Counters = tr.Counters()
+
+	// Per-pass durations come from the JSONL stream, not the in-memory
+	// tree: this keeps the command an honest consumer of -stats-json.
+	evs, err := obs.ReadEvents(&buf)
+	if err != nil {
+		cr.Error = "trace stream unreadable: " + err.Error()
+		return cr
+	}
+	cr.SpanMS = map[string]float64{}
+	for _, e := range evs {
+		if e.Ev == "span_end" {
+			cr.SpanMS[e.Span] += e.DurMs
+		}
+	}
+	return cr
+}
+
+func asMetrics(r *flows.Result) flowMetrics {
+	return flowMetrics{Regs: r.Regs, Clk: r.Clk, Area: r.Area, Note: r.Note, PrefixK: r.PrefixK}
+}

@@ -5,9 +5,11 @@
 // Usage:
 //
 //	resyn -in circuit.blif [-kiss] [-flow script|retime|resyn|core] [-out out.blif] [-verify]
+//	      [-trace] [-stats-json events.jsonl]
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -18,6 +20,7 @@ import (
 	"repro/internal/genlib"
 	"repro/internal/kiss"
 	"repro/internal/network"
+	"repro/internal/obs"
 	"repro/internal/seqverify"
 	"repro/internal/sim"
 	"repro/internal/timing"
@@ -29,10 +32,24 @@ func main() {
 	flow := flag.String("flow", "resyn", "flow: script | retime | resyn | core")
 	out := flag.String("out", "", "output BLIF file (default: stdout summary only)")
 	verify := flag.Bool("verify", true, "verify the result against the input")
+	trace := flag.Bool("trace", false, "print the span tree with per-pass wall time and counters")
+	statsJSON := flag.String("stats-json", "", "write the JSON-lines trace event stream to this file")
 	flag.Parse()
 	if *in == "" {
 		flag.Usage()
 		os.Exit(2)
+	}
+	var tr *obs.Tracer
+	if *trace || *statsJSON != "" {
+		tr = obs.New()
+		if *statsJSON != "" {
+			jf, err := os.Create(*statsJSON)
+			if err != nil {
+				fatal(err)
+			}
+			defer jf.Close()
+			tr.SetJSON(jf)
+		}
 	}
 	f, err := os.Open(*in)
 	if err != nil {
@@ -62,22 +79,22 @@ func main() {
 	var result *flows.Result
 	switch *flow {
 	case "script":
-		result, err = flows.ScriptDelay(src, lib)
+		result, err = flows.ScriptDelayT(src, lib, tr)
 	case "retime":
 		var sd *flows.Result
-		sd, err = flows.ScriptDelay(src, lib)
+		sd, err = flows.ScriptDelayT(src, lib, tr)
 		if err == nil {
-			result, err = flows.RetimeCombOpt(sd.Net, lib)
+			result, err = flows.RetimeCombOptT(sd.Net, lib, tr)
 		}
 	case "resyn":
 		var sd *flows.Result
-		sd, err = flows.ScriptDelay(src, lib)
+		sd, err = flows.ScriptDelayT(src, lib, tr)
 		if err == nil {
-			result, err = flows.Resynthesis(sd.Net, lib)
+			result, err = flows.ResynthesisT(sd.Net, lib, tr)
 		}
 	case "core":
 		// Raw Algorithm 1 under the unit-delay model, no mapping.
-		res, cerr := core.ResynthesizeIterate(src, core.Options{}, 4)
+		res, cerr := core.ResynthesizeIterate(src, core.Options{Tracer: tr}, 4)
 		if cerr != nil {
 			fatal(cerr)
 		}
@@ -97,13 +114,20 @@ func main() {
 		fatal(err)
 	}
 	fmt.Printf("result: %v (delayed-replacement prefix k=%d)\n", result.Metrics, result.PrefixK)
+	if *trace {
+		fmt.Println()
+		tr.WriteTree(os.Stdout)
+	}
+	if *statsJSON != "" {
+		fmt.Printf("wrote trace events to %s\n", *statsJSON)
+	}
 
 	if *verify {
 		err := seqverify.Equivalent(src, result.Net, seqverify.Options{Delay: result.PrefixK})
 		switch {
 		case err == nil:
 			fmt.Println("verify: exact product-machine equivalence PASSED")
-		case err == seqverify.ErrTooLarge:
+		case errors.Is(err, seqverify.ErrTooLarge):
 			if serr := sim.RandomEquivalent(src, result.Net, result.PrefixK, 5000, 1); serr != nil {
 				fatal(serr)
 			}

@@ -6,7 +6,7 @@
 //
 // Usage:
 //
-//	tablegen [-circuits ex2,bbtas,...] [-verify] [-timeout-large]
+//	tablegen [-circuits ex2,bbtas,...] [-verify] [-skip-large] [-trace] [-stats-json events.jsonl]
 package main
 
 import (
@@ -19,13 +19,30 @@ import (
 	"repro/internal/bench"
 	"repro/internal/flows"
 	"repro/internal/genlib"
+	"repro/internal/obs"
 )
 
 func main() {
 	circuitsFlag := flag.String("circuits", "", "comma-separated circuit names (default: all of Table I)")
 	verify := flag.Bool("verify", true, "verify every flow output against the source circuit")
 	skipLarge := flag.Bool("skip-large", false, "skip circuits with more than 1000 gates")
+	trace := flag.Bool("trace", false, "print the per-circuit span tree with wall time and counters")
+	statsJSON := flag.String("stats-json", "", "write the JSON-lines trace event stream to this file")
 	flag.Parse()
+
+	var tr *obs.Tracer
+	if *trace || *statsJSON != "" {
+		tr = obs.New()
+		if *statsJSON != "" {
+			jf, err := os.Create(*statsJSON)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "tablegen:", err)
+				os.Exit(1)
+			}
+			defer jf.Close()
+			tr.SetJSON(jf)
+		}
+	}
 
 	suite := bench.TableI()
 	if *circuitsFlag != "" {
@@ -62,7 +79,9 @@ func main() {
 			continue
 		}
 		start := time.Now()
-		sd, ret, rsyn, err := flows.RunAll(src, lib)
+		csp := tr.Begin(c.Name)
+		sd, ret, rsyn, err := flows.RunAllT(src, lib, tr)
+		csp.End()
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "%s: flow failed: %v\n", c.Name, err)
 			continue
@@ -91,6 +110,10 @@ func main() {
 	fmt.Println(strings.Repeat("-", 118))
 	fmt.Printf("resynthesis ≤ retiming clock on %d/%d applicable circuits (all outputs verified: %v)\n",
 		wins, applicable, *verify)
+	if *trace {
+		fmt.Println()
+		tr.WriteTree(os.Stdout)
+	}
 }
 
 func short(s string) string {

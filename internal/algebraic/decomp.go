@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/logic"
 	"repro/internal/network"
+	"repro/internal/obs"
 )
 
 // DecomposeBalanced rewrites every logic node into a network of inverters
@@ -130,17 +131,41 @@ func isInvOrBuf(f *logic.Cover) bool {
 // nodes, extract common divisors, then decompose into balanced two-input
 // trees (the script.delay analogue).
 func OptimizeDelay(n *network.Network) error {
-	n.Sweep()
-	n.TrimAllFanins()
-	SimplifyNodes(n)
-	Eliminate(n, 0)
-	SimplifyNodes(n)
-	ExtractKernels(n, 64)
-	SimplifyNodes(n)
-	if err := DecomposeBalanced(n); err != nil {
+	return OptimizeDelayT(n, nil)
+}
+
+// OptimizeDelayT is OptimizeDelay with tracing: an "algebraic.optimize"
+// span with one child step span per script pass and counters for nodes
+// simplified/eliminated, kernels extracted, and literals saved.
+func OptimizeDelayT(n *network.Network, tr *obs.Tracer) error {
+	sp := tr.Begin("algebraic.optimize")
+	defer sp.End()
+	litsIn := n.NumLits()
+	simplified, eliminated, kernels := 0, 0, 0
+	step := func(name string, f func()) {
+		s := tr.Begin(name)
+		f()
+		s.End()
+	}
+	step("sweep", func() { n.Sweep(); n.TrimAllFanins() })
+	step("simplify", func() { simplified += SimplifyNodes(n) })
+	step("eliminate", func() { eliminated = Eliminate(n, 0) })
+	step("simplify", func() { simplified += SimplifyNodes(n) })
+	step("kernels", func() { kernels = ExtractKernels(n, 64) })
+	step("simplify", func() { simplified += SimplifyNodes(n) })
+	ds := tr.Begin("decompose")
+	err := DecomposeBalanced(n)
+	ds.End()
+	if err != nil {
 		return err
 	}
 	n.Sweep()
+	sp.Add("algebraic_nodes_simplified", int64(simplified))
+	sp.Add("algebraic_nodes_eliminated", int64(eliminated))
+	sp.Add("algebraic_kernels_extracted", int64(kernels))
+	if d := litsIn - n.NumLits(); d > 0 {
+		sp.Add("lits_saved", int64(d))
+	}
 	return n.Check()
 }
 

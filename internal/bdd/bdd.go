@@ -57,6 +57,70 @@ type Manager struct {
 	// MaxNodes optionally bounds growth; Ite panics with ErrNodeLimit
 	// beyond it (callers recover to fall back gracefully).
 	MaxNodes int
+	// cacheHits/cacheMisses account computed-table effectiveness across
+	// all cached operations (Ite, Exists, AndExists, Permute).
+	cacheHits, cacheMisses int64
+}
+
+// Stats is a snapshot of the manager's table accounting. Nodes are never
+// freed (no garbage collection), so PeakNodes equals Nodes.
+type Stats struct {
+	NumVars     int
+	Nodes       int // live node count, including the two terminals
+	PeakNodes   int
+	UniqueSize  int // unique-table entries (internal nodes)
+	CacheSize   int // computed-table entries
+	CacheHits   int64
+	CacheMisses int64
+}
+
+// Stats returns the current table accounting.
+func (m *Manager) Stats() Stats {
+	return Stats{
+		NumVars:     m.numVars,
+		Nodes:       len(m.nodes),
+		PeakNodes:   len(m.nodes),
+		UniqueSize:  len(m.unique),
+		CacheSize:   len(m.cache),
+		CacheHits:   m.cacheHits,
+		CacheMisses: m.cacheMisses,
+	}
+}
+
+func (s Stats) String() string {
+	return fmt.Sprintf("nodes=%d unique=%d cache=%d hits=%d misses=%d",
+		s.Nodes, s.UniqueSize, s.CacheSize, s.CacheHits, s.CacheMisses)
+}
+
+// cacheGet is the accounting wrapper around computed-table lookups.
+func (m *Manager) cacheGet(k opKey) (Ref, bool) {
+	if r, ok := m.cache[k]; ok {
+		m.cacheHits++
+		return r, true
+	}
+	m.cacheMisses++
+	return 0, false
+}
+
+// NodeCount returns the number of distinct internal nodes reachable from f
+// (the size of f's DAG, excluding terminals).
+func (m *Manager) NodeCount(f Ref) int {
+	if f == True || f == False {
+		return 0
+	}
+	seen := make(map[Ref]bool)
+	var walk func(Ref)
+	walk = func(g Ref) {
+		if g == True || g == False || seen[g] {
+			return
+		}
+		seen[g] = true
+		n := m.nodes[g]
+		walk(n.lo)
+		walk(n.hi)
+	}
+	walk(f)
+	return len(seen)
 }
 
 // ErrNodeLimit is the panic value raised when MaxNodes is exceeded.
@@ -130,7 +194,7 @@ func (m *Manager) Ite(f, g, h Ref) Ref {
 		return f
 	}
 	k := opKey{opIte, f, g, h}
-	if r, ok := m.cache[k]; ok {
+	if r, ok := m.cacheGet(k); ok {
 		return r
 	}
 	top := m.level(f)
@@ -217,7 +281,7 @@ func (m *Manager) exists(f, cube Ref) Ref {
 		return f
 	}
 	k := opKey{opExists, f, cube, 0}
-	if r, ok := m.cache[k]; ok {
+	if r, ok := m.cacheGet(k); ok {
 		return r
 	}
 	fl := m.level(f)
@@ -273,7 +337,7 @@ func (m *Manager) andExists(f, g, cube Ref) Ref {
 		return m.exists(f, cube)
 	}
 	k := opKey{opAndExists, f, g, cube}
-	if r, ok := m.cache[k]; ok {
+	if r, ok := m.cacheGet(k); ok {
 		return r
 	}
 	top := m.level(f)
@@ -321,7 +385,7 @@ func (m *Manager) permute(f Ref, perm []int, tag Ref) Ref {
 		return f
 	}
 	k := opKey{opPermute, f, tag, 0}
-	if r, ok := m.cache[k]; ok {
+	if r, ok := m.cacheGet(k); ok {
 		return r
 	}
 	n := m.nodes[f]

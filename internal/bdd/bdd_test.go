@@ -220,3 +220,47 @@ func TestNodeLimit(t *testing.T) {
 	}
 	_ = f
 }
+
+func TestStatsAccounting(t *testing.T) {
+	m := New(8)
+	s0 := m.Stats()
+	if s0.Nodes != 2 || s0.UniqueSize != 0 || s0.CacheHits != 0 {
+		t.Fatalf("fresh manager stats off: %+v", s0)
+	}
+	// Parity of 8 vars: plenty of Ite calls, with repeated subproblems.
+	f := False
+	for v := 0; v < 8; v++ {
+		f = m.Xor(f, m.Var(v))
+	}
+	// Recompute the same thing: now everything must hit the cache.
+	g := False
+	for v := 0; v < 8; v++ {
+		g = m.Xor(g, m.Var(v))
+	}
+	if f != g {
+		t.Fatal("parity not canonical")
+	}
+	s := m.Stats()
+	if s.CacheMisses == 0 {
+		t.Fatal("first computation must record cache misses")
+	}
+	if s.CacheHits == 0 {
+		t.Fatal("recomputation must record cache hits")
+	}
+	if s.UniqueSize != s.Nodes-2 {
+		t.Fatalf("unique table (%d) must track internal nodes (%d)", s.UniqueSize, s.Nodes-2)
+	}
+	if s.PeakNodes != s.Nodes {
+		t.Fatalf("peak (%d) must equal nodes (%d): nodes are never freed", s.PeakNodes, s.Nodes)
+	}
+	if nc := m.NodeCount(f); nc <= 0 || nc > s.UniqueSize {
+		t.Fatalf("NodeCount(parity) = %d out of range (unique=%d)", nc, s.UniqueSize)
+	}
+	// Parity of n vars has exactly 2n-1 internal nodes in a reduced BDD.
+	if nc := m.NodeCount(f); nc != 15 {
+		t.Fatalf("NodeCount(parity8) = %d, want 15", nc)
+	}
+	if m.NodeCount(True) != 0 || m.NodeCount(False) != 0 {
+		t.Fatal("terminals have zero internal nodes")
+	}
+}

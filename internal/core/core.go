@@ -17,6 +17,7 @@ import (
 	"repro/internal/dontcare"
 	"repro/internal/logic"
 	"repro/internal/network"
+	"repro/internal/obs"
 	"repro/internal/retime"
 	"repro/internal/timing"
 )
@@ -44,6 +45,9 @@ type Options struct {
 	// paper: "without the don't care set no simplification could have
 	// been achieved at all").
 	DisableDCRet bool
+	// Tracer receives per-pass spans and transformation counters (nil:
+	// no tracing, zero overhead).
+	Tracer *obs.Tracer
 }
 
 func (o *Options) defaults() {
@@ -77,15 +81,52 @@ type Result struct {
 	// Duplicated counts gates duplicated for fanout-freedom.
 	Duplicated int
 	// ForwardMoves counts forward retimings across gates.
-	ForwardMoves              int
+	ForwardMoves int
+	// LitsSaved is the SOP-literal reduction achieved by the DCret
+	// simplification step (0 when the step did not fire).
+	LitsSaved                 int
 	PeriodBefore, PeriodAfter float64
 	RegsBefore, RegsAfter     int
 }
 
 // Resynthesize runs one pass of Algorithm 1 on a copy of the network.
+// With Options.Tracer set it reports a "core.resynthesize" span whose
+// transformation counters (gates_duplicated, stems_split, dcret_pairs,
+// regs_forward_moved, cones_simplified, lits_saved) are emitted only when
+// the pass applies, so aggregated counters always describe the returned
+// circuit; a declined pass records resyn_declined instead.
 func Resynthesize(n *network.Network, opt Options) (*Result, error) {
 	opt.defaults()
+	sp := opt.Tracer.Begin("core.resynthesize")
+	defer sp.End()
+	res, err := resynthesize(n, opt)
+	if err != nil {
+		sp.Add("resyn_error", 1)
+		return nil, err
+	}
+	if res.Applied {
+		sp.Add("gates_duplicated", int64(res.Duplicated))
+		// stems_split counts atomic fanout-stem moves: a stem with m
+		// consumers splits into m registers = m-1 moves. dcret_pairs is
+		// the same quantity seen as induced equivalences, and both equal
+		// the delayed-replacement prefix PrefixK.
+		sp.Add("stems_split", int64(res.PrefixK))
+		sp.Add("dcret_pairs", int64(res.PrefixK))
+		sp.Add("regs_forward_moved", int64(res.ForwardMoves))
+		sp.Add("cones_simplified", int64(res.Simplified))
+		if res.LitsSaved > 0 {
+			sp.Add("lits_saved", int64(res.LitsSaved))
+		}
+	} else {
+		sp.Add("resyn_declined", 1)
+	}
+	return res, nil
+}
+
+func resynthesize(n *network.Network, opt Options) (*Result, error) {
+	tr := opt.Tracer
 	res := &Result{Network: n, RegsBefore: len(n.Latches), RegsAfter: len(n.Latches)}
+	st := tr.Begin("sta")
 	sta, err := timing.Analyze(n, opt.Delay)
 	if err != nil {
 		return nil, err
@@ -99,6 +140,7 @@ func Resynthesize(n *network.Network, opt Options) (*Result, error) {
 		return nil, err
 	}
 	_, path := wsta.CriticalPath()
+	st.End()
 	if len(path) == 0 {
 		res.Reason = "no combinational critical path"
 		return res, nil
@@ -106,6 +148,7 @@ func Resynthesize(n *network.Network, opt Options) (*Result, error) {
 
 	// Step 1: make the critical path fanout-free by node duplication,
 	// walking backward from the final connection of the longest path.
+	st = tr.Begin("fanout_free")
 	for i := len(path) - 2; i >= 0; i-- {
 		if work.NumFanouts(path[i]) <= 1 {
 			continue
@@ -115,9 +158,11 @@ func Resynthesize(n *network.Network, opt Options) (*Result, error) {
 		path[i] = dup
 		res.Duplicated++
 	}
+	st.End()
 
 	// Step 2: forward retime the registers fanning out to the path across
 	// their fanout stems, recording the induced equivalences.
+	st = tr.Begin("stem_retime")
 	classes := dontcare.New()
 	onPath := make(map[*network.Node]bool, len(path))
 	for _, v := range path {
@@ -150,15 +195,18 @@ func Resynthesize(n *network.Network, opt Options) (*Result, error) {
 			res.PrefixK += len(created) - 1
 		}
 	}
+	st.End()
 	if classes.NumClasses() == 0 {
 		// "If no retimings across fanout stems, no DCret created, so the
 		// circuit cannot be resynthesized by our technique."
 		res.Reason = "critical path has no multiple-fanout registers to retime across stems"
+		res.PrefixK = 0
 		return res, nil
 	}
 
 	// Step 3: the retiming engine — forward retime across the critical
 	// path nodes until no node is retimable.
+	st = tr.Begin("path_retime")
 	// The pass count is bounded by the path length: on feedback rings
 	// whose side inputs are all registers, unbounded iteration would
 	// circulate registers forever (the engine's O(n²) bound in the paper).
@@ -185,12 +233,19 @@ func Resynthesize(n *network.Network, opt Options) (*Result, error) {
 		}
 	}
 	classes.Prune(work)
+	st.End()
 
 	// Step 4: simplify the restructured next-state logic using DCret,
 	// with local re-mapping (cone collapse) of the logic relocated behind
 	// the engine-created registers.
 	if !opt.DisableDCRet {
+		st = tr.Begin("dcret_simplify")
+		litsIn := work.NumLits()
 		res.Simplified = simplifyWithDCRet(work, classes, engineRegs, opt)
+		if d := litsIn - work.NumLits(); d > 0 {
+			res.LitsSaved = d
+		}
+		st.End()
 	}
 	sweepDanglingLatches(work)
 	work.Sweep()
@@ -202,7 +257,7 @@ func Resynthesize(n *network.Network, opt Options) (*Result, error) {
 		return nil, err
 	}
 	if !opt.SkipMinArea {
-		if ma, _, err := retime.MinAreaUnderPeriod(work, opt.VertexDelay, p); err == nil {
+		if ma, _, err := retime.MinAreaUnderPeriodT(work, opt.VertexDelay, p, tr); err == nil {
 			if q, err2 := timing.Period(ma, opt.Delay); err2 == nil && q <= p+1e-9 {
 				work = ma
 			}
@@ -219,6 +274,9 @@ func Resynthesize(n *network.Network, opt Options) (*Result, error) {
 	}
 	if p >= res.PeriodBefore && !opt.KeepHarm {
 		res.Reason = fmt.Sprintf("no cycle-time improvement (%.2f -> %.2f)", res.PeriodBefore, p)
+		// The original network is returned: no stems were split in it, so
+		// the delayed-replacement prefix (and DCret counters) reset.
+		res.PrefixK = 0
 		return res, nil
 	}
 	res.Network = work
@@ -432,6 +490,8 @@ func ResynthesizeIterate(n *network.Network, opt Options, maxPasses int) (*Resul
 	if maxPasses < 1 {
 		maxPasses = 1
 	}
+	sp := opt.Tracer.Begin("core.resynthesize_iterate")
+	defer sp.End()
 	cur := n
 	var total *Result
 	for pass := 0; pass < maxPasses; pass++ {
@@ -446,6 +506,7 @@ func ResynthesizeIterate(n *network.Network, opt Options, maxPasses int) (*Resul
 			total.Simplified += r.Simplified
 			total.Duplicated += r.Duplicated
 			total.ForwardMoves += r.ForwardMoves
+			total.LitsSaved += r.LitsSaved
 			total.PeriodAfter = r.PeriodAfter
 			total.RegsAfter = r.RegsAfter
 			total.Network = r.Network

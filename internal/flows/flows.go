@@ -15,6 +15,7 @@
 package flows
 
 import (
+	"errors"
 	"fmt"
 
 	"repro/internal/algebraic"
@@ -23,6 +24,7 @@ import (
 	"repro/internal/logic"
 	"repro/internal/mapper"
 	"repro/internal/network"
+	"repro/internal/obs"
 	"repro/internal/reach"
 	"repro/internal/retime"
 	"repro/internal/seqverify"
@@ -71,11 +73,19 @@ func measure(n *network.Network, lib *genlib.Library) (Metrics, error) {
 
 // ScriptDelay optimizes and maps a circuit for minimum delay.
 func ScriptDelay(n *network.Network, lib *genlib.Library) (*Result, error) {
+	return ScriptDelayT(n, lib, nil)
+}
+
+// ScriptDelayT is ScriptDelay with tracing: a "flow.script_delay" span
+// whose children time the algebraic script and the mapper.
+func ScriptDelayT(n *network.Network, lib *genlib.Library, tr *obs.Tracer) (*Result, error) {
+	sp := tr.Begin("flow.script_delay")
+	defer sp.End()
 	w := n.Clone()
-	if err := algebraic.OptimizeDelay(w); err != nil {
+	if err := algebraic.OptimizeDelayT(w, tr); err != nil {
 		return nil, fmt.Errorf("flows: optimize: %w", err)
 	}
-	m, err := mapper.MapDelay(w, lib)
+	m, err := mapper.MapDelayT(w, lib, tr)
 	if err != nil {
 		return nil, fmt.Errorf("flows: map: %w", err)
 	}
@@ -91,8 +101,18 @@ func ScriptDelay(n *network.Network, lib *genlib.Library) (*Result, error) {
 // state enumeration, per-node simplification, and remapping. The input
 // should be a ScriptDelay result; it is not modified.
 func RetimeCombOpt(mappedIn *network.Network, lib *genlib.Library) (*Result, error) {
+	return RetimeCombOptT(mappedIn, lib, nil)
+}
+
+// RetimeCombOptT is RetimeCombOpt with tracing: a "flow.retime_combopt"
+// span over the min-period retimer, the implicit state enumeration, the
+// don't-care application (dc_nodes_simplified / lits_saved), and the
+// remap; a guard revert records flow_reverted.
+func RetimeCombOptT(mappedIn *network.Network, lib *genlib.Library, tr *obs.Tracer) (*Result, error) {
+	sp := tr.Begin("flow.retime_combopt")
+	defer sp.End()
 	note := ""
-	ret, _, err := retime.MinPeriod(mappedIn, retime.GateVertexDelay)
+	ret, _, err := retime.MinPeriodT(mappedIn, retime.GateVertexDelay, tr)
 	if err != nil {
 		// The paper: "retiming was either unable to minimize the cycle
 		// time, or was unable to preserve/compute the initial states".
@@ -102,24 +122,33 @@ func RetimeCombOpt(mappedIn *network.Network, lib *genlib.Library) (*Result, err
 	// Combinational optimization with retiming-induced external don't
 	// cares from implicit state enumeration (bounded; skipped when the
 	// state space is out of reach, as it was for SIS on large circuits).
-	if a, rerr := reach.Analyze(ret, reach.DefaultLimits); rerr == nil {
-		applyUnreachableDCs(ret, a)
+	if a, rerr := reach.AnalyzeT(ret, reach.DefaultLimits, tr); rerr == nil {
+		st := tr.Begin("apply_unreachable_dcs")
+		improved, lits := applyUnreachableDCs(ret, a)
+		st.Add("dc_nodes_simplified", int64(improved))
+		if lits > 0 {
+			st.Add("lits_saved", int64(lits))
+		}
+		st.End()
 	} else if note == "" {
-		note = "DC extraction skipped (state space too large)"
+		// The wrapped reach error carries the observed node/iteration
+		// numbers (or the latch count), not just "too large".
+		note = "DC extraction skipped: " + rerr.Error()
 	}
-	m, met, err := bestRemap(ret, lib)
+	m, met, err := bestRemap(ret, lib, tr)
 	if err != nil {
 		return nil, err
 	}
-	m, met = guardAgainstHarm(mappedIn, lib, m, met, &note)
+	m, met = guardAgainstHarm(mappedIn, lib, m, met, &note, sp)
 	met.Note = note
 	return &Result{Net: m, Metrics: met}, nil
 }
 
 // guardAgainstHarm keeps the flow input when the transformed circuit ended
 // up slower (or equally fast but larger) — the "stopped from doing any
-// harm" control the paper says it is investigating (Section V).
-func guardAgainstHarm(input *network.Network, lib *genlib.Library, m *network.Network, met Metrics, note *string) (*network.Network, Metrics) {
+// harm" control the paper says it is investigating (Section V). A revert
+// is recorded on sp as flow_reverted.
+func guardAgainstHarm(input *network.Network, lib *genlib.Library, m *network.Network, met Metrics, note *string, sp *obs.Span) (*network.Network, Metrics) {
 	in, err := measure(input, lib)
 	if err != nil {
 		return m, met
@@ -127,6 +156,7 @@ func guardAgainstHarm(input *network.Network, lib *genlib.Library, m *network.Ne
 	if met.Clk < in.Clk-1e-9 || (met.Clk < in.Clk+1e-9 && met.Area <= in.Area) {
 		return m, met
 	}
+	sp.Add("flow_reverted", 1)
 	if *note == "" {
 		*note = "reverted (no gain over input)"
 	}
@@ -138,15 +168,17 @@ func guardAgainstHarm(input *network.Network, lib *genlib.Library, m *network.Ne
 // mapping, compared by clock then area. Re-optimizing an already-mapped
 // netlist is occasionally lossy; keeping the better candidate models the
 // "keep the best implementation seen" discipline of a real flow.
-func bestRemap(n *network.Network, lib *genlib.Library) (*network.Network, Metrics, error) {
+func bestRemap(n *network.Network, lib *genlib.Library, tr *obs.Tracer) (*network.Network, Metrics, error) {
+	sp := tr.Begin("remap")
+	defer sp.End()
 	type cand struct {
 		net *network.Network
 		met Metrics
 	}
 	var cands []cand
 	full := n.Clone()
-	if err := algebraic.OptimizeDelay(full); err == nil {
-		if m, err := mapper.MapDelay(full, lib); err == nil {
+	if err := algebraic.OptimizeDelayT(full, tr); err == nil {
+		if m, err := mapper.MapDelayT(full, lib, tr); err == nil {
 			if met, err := measure(m, lib); err == nil {
 				cands = append(cands, cand{m, met})
 			}
@@ -155,12 +187,13 @@ func bestRemap(n *network.Network, lib *genlib.Library) (*network.Network, Metri
 	plain := n.Clone()
 	plain.Sweep()
 	if err := algebraic.DecomposeBalanced(plain); err == nil {
-		if m, err := mapper.MapDelay(plain, lib); err == nil {
+		if m, err := mapper.MapDelayT(plain, lib, tr); err == nil {
 			if met, err := measure(m, lib); err == nil {
 				cands = append(cands, cand{m, met})
 			}
 		}
 	}
+	sp.Add("remap_candidates", int64(len(cands)))
 	if len(cands) == 0 {
 		return nil, Metrics{}, fmt.Errorf("flows: no mappable candidate")
 	}
@@ -175,13 +208,13 @@ func bestRemap(n *network.Network, lib *genlib.Library) (*network.Network, Metri
 }
 
 // applyUnreachableDCs simplifies every node against the unreachable-state
-// don't cares projected onto its register fanins.
-func applyUnreachableDCs(n *network.Network, a *reach.Analysis) int {
+// don't cares projected onto its register fanins, returning the number of
+// nodes improved and the total SOP literals saved.
+func applyUnreachableDCs(n *network.Network, a *reach.Analysis) (improvedNodes, litsSaved int) {
 	latchIdx := make(map[*network.Node]int, len(n.Latches))
 	for i, l := range n.Latches {
 		latchIdx[l.Output] = i
 	}
-	improved := 0
 	for _, v := range n.Nodes() {
 		if v.Kind != network.KindLogic {
 			continue
@@ -207,20 +240,35 @@ func applyUnreachableDCs(n *network.Network, a *reach.Analysis) int {
 		dc := proj.Remap(len(v.Fanins), varMap)
 		s := logic.Simplify(v.Func, dc)
 		if s.NumLits() < v.Func.NumLits() {
+			litsSaved += v.Func.NumLits() - s.NumLits()
 			n.SetFunction(v, v.Fanins, s)
 			n.TrimFanins(v)
-			improved++
+			improvedNodes++
 		}
 	}
-	return improved
+	return improvedNodes, litsSaved
 }
 
 // Resynthesis runs the paper's flow on a mapped circuit: Algorithm 1
 // (iterated), then remapping. The input should be a ScriptDelay result.
 func Resynthesis(mappedIn *network.Network, lib *genlib.Library) (*Result, error) {
+	return ResynthesisT(mappedIn, lib, nil)
+}
+
+// ResynthesisT is Resynthesis with tracing: a "flow.resynthesis" span over
+// the core Algorithm 1 passes, the guiding min-period retiming, and the
+// remap; a guard revert records flow_reverted and zeroes the prefix.
+func ResynthesisT(mappedIn *network.Network, lib *genlib.Library, tr *obs.Tracer) (*Result, error) {
+	sp := tr.Begin("flow.resynthesis")
+	defer sp.End()
 	opt := core.Options{
-		Delay:       timing.MappedDelay{},
+		// The same mapped delay model measure() uses: gate pin delays from
+		// the bound-gate annotations, no fanout load (LoadFactor 0). N is
+		// the flow input so both paths stay consistent (regression-tested
+		// in flows_test.go).
+		Delay:       timing.MappedDelay{N: mappedIn},
 		VertexDelay: retime.GateVertexDelay,
+		Tracer:      tr,
 	}
 	res, err := core.ResynthesizeIterate(mappedIn, opt, 3)
 	if err != nil {
@@ -235,17 +283,17 @@ func Resynthesis(mappedIn *network.Network, lib *genlib.Library) (*Result, error
 	// achieve a cycle-time reduction": after the DCret restructuring, a
 	// conventional min-period retiming pass balances the remaining paths.
 	// It is kept only when it helps and the initial states work out.
-	if ret, info, rerr := retime.MinPeriod(w, retime.GateVertexDelay); rerr == nil &&
+	if ret, info, rerr := retime.MinPeriodT(w, retime.GateVertexDelay, tr); rerr == nil &&
 		info.PeriodAfter < info.PeriodBefore {
 		w = ret
 	}
-	m, met, err := bestRemap(w, lib)
+	m, met, err := bestRemap(w, lib, tr)
 	if err != nil {
 		return nil, err
 	}
 	prefix := res.PrefixK
 	before := m
-	m, met = guardAgainstHarm(mappedIn, lib, m, met, &note)
+	m, met = guardAgainstHarm(mappedIn, lib, m, met, &note, sp)
 	if m != before {
 		prefix = 0 // reverted to the untouched input
 	}
@@ -261,7 +309,7 @@ func Verify(src *network.Network, r *Result) error {
 	if err == nil {
 		return nil
 	}
-	if err == seqverify.ErrTooLarge {
+	if errors.Is(err, seqverify.ErrTooLarge) {
 		return sim.RandomEquivalent(src, r.Net, r.PrefixK, 3000, 1999)
 	}
 	return err
@@ -269,15 +317,21 @@ func Verify(src *network.Network, r *Result) error {
 
 // RunAll executes the three flows of Table I on one source circuit.
 func RunAll(src *network.Network, lib *genlib.Library) (sd, ret, rsyn *Result, err error) {
-	sd, err = ScriptDelay(src, lib)
+	return RunAllT(src, lib, nil)
+}
+
+// RunAllT is RunAll with tracing: each flow contributes its own top-level
+// span (flow.script_delay, flow.retime_combopt, flow.resynthesis) to tr.
+func RunAllT(src *network.Network, lib *genlib.Library, tr *obs.Tracer) (sd, ret, rsyn *Result, err error) {
+	sd, err = ScriptDelayT(src, lib, tr)
 	if err != nil {
 		return nil, nil, nil, err
 	}
-	ret, err = RetimeCombOpt(sd.Net, lib)
+	ret, err = RetimeCombOptT(sd.Net, lib, tr)
 	if err != nil {
 		return nil, nil, nil, err
 	}
-	rsyn, err = Resynthesis(sd.Net, lib)
+	rsyn, err = ResynthesisT(sd.Net, lib, tr)
 	if err != nil {
 		return nil, nil, nil, err
 	}

@@ -1,11 +1,14 @@
 package flows
 
 import (
+	"bytes"
 	"testing"
 
 	"repro/internal/bench"
 	"repro/internal/genlib"
 	"repro/internal/network"
+	"repro/internal/obs"
+	"repro/internal/timing"
 )
 
 func runAll(t *testing.T, n *network.Network) (sd, ret, rsyn *Result) {
@@ -124,5 +127,183 @@ func TestFlowsOnSyntheticISCASProfile(t *testing.T) {
 		if err := Verify(src, r); err != nil {
 			t.Fatalf("flow %d not equivalent: %v", i, err)
 		}
+	}
+}
+
+// TestMappedDelayPeriodConsistency pins the satellite fix: the delay model
+// handed to core.ResynthesizeIterate (previously a zero-value MappedDelay)
+// and the one used by measure() must compute the same clock period on a
+// mapped circuit.
+func TestMappedDelayPeriodConsistency(t *testing.T) {
+	for _, name := range []string{"bbtas", "s27"} {
+		c, ok := bench.ByName(name)
+		if !ok {
+			t.Fatalf("%s missing", name)
+		}
+		src, err := c.Build()
+		if err != nil {
+			t.Fatal(err)
+		}
+		sd, err := ScriptDelay(src, genlib.Lib2())
+		if err != nil {
+			t.Fatal(err)
+		}
+		m := sd.Net
+		pZero, err := timing.Period(m, timing.MappedDelay{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		pNet, err := timing.Period(m, timing.MappedDelay{N: m})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if pZero != pNet {
+			t.Fatalf("%s: MappedDelay{} period %v != MappedDelay{N} period %v", name, pZero, pNet)
+		}
+		if sd.Clk != pNet {
+			t.Fatalf("%s: measure() period %v != MappedDelay{N} period %v", name, sd.Clk, pNet)
+		}
+	}
+}
+
+// TestResynthesisCountersConsistent asserts the emitted transformation
+// counters agree with the returned result: on an applied, non-reverted
+// resynthesis the atomic stem-split count equals the delayed-replacement
+// prefix, and the span tree carries the expected hierarchy.
+func TestResynthesisCountersConsistent(t *testing.T) {
+	src := bench.BuildPaperExample()
+	lib := genlib.Lib2()
+	var buf bytes.Buffer
+	tr := obs.NewJSON(&buf)
+	sd, err := ScriptDelayT(src, lib, tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rsyn, err := ResynthesisT(sd.Net, lib, tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rsyn.Note != "" {
+		t.Fatalf("paper example must resynthesize cleanly, got note %q", rsyn.Note)
+	}
+	cs := tr.Counters()
+	if cs["flow_reverted"] != 0 {
+		t.Fatalf("unexpected revert: %v", cs)
+	}
+	if rsyn.PrefixK == 0 {
+		t.Fatal("paper example must split stems")
+	}
+	if cs["stems_split"] != int64(rsyn.PrefixK) {
+		t.Fatalf("stems_split counter %d != PrefixK %d", cs["stems_split"], rsyn.PrefixK)
+	}
+	if cs["dcret_pairs"] != int64(rsyn.PrefixK) {
+		t.Fatalf("dcret_pairs counter %d != PrefixK %d", cs["dcret_pairs"], rsyn.PrefixK)
+	}
+	if cs["cones_simplified"] == 0 {
+		t.Fatal("DCret simplification must fire on the paper example")
+	}
+	if cs["mapper_candidates"] == 0 || cs["remap_candidates"] == 0 {
+		t.Fatalf("mapper counters missing: %v", cs)
+	}
+	// Span hierarchy: flow → core pass → step.
+	root := tr.Root()
+	if root.Find("flow.resynthesis") == nil || root.Find("core.resynthesize") == nil ||
+		root.Find("stem_retime") == nil || root.Find("dcret_simplify") == nil {
+		t.Fatal("expected flow/pass/step spans missing from the tree")
+	}
+	// The JSON-lines stream must parse and contain matching start/end pairs.
+	evs, err := obs.ReadEvents(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	starts, ends := 0, 0
+	for _, e := range evs {
+		switch e.Ev {
+		case "span_start":
+			starts++
+		case "span_end":
+			ends++
+		}
+	}
+	if starts == 0 || starts != ends {
+		t.Fatalf("unbalanced span events: %d starts, %d ends", starts, ends)
+	}
+}
+
+// TestGuardRevertRecorded pins that every guardAgainstHarm revert is
+// recorded as a flow_reverted counter and a note.
+func TestGuardRevertRecorded(t *testing.T) {
+	c, _ := bench.ByName("bbtas")
+	src, err := c.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	lib := genlib.Lib2()
+	sd, err := ScriptDelay(src, lib)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := obs.New()
+	sp := tr.Begin("flow.test")
+	note := ""
+	worse := Metrics{Regs: sd.Regs, Clk: sd.Clk + 100, Area: sd.Area}
+	m, met := guardAgainstHarm(sd.Net, lib, sd.Net.Clone(), worse, &note, sp)
+	sp.End()
+	if met.Clk != sd.Clk {
+		t.Fatalf("guard must return the input metrics, got clk %v", met.Clk)
+	}
+	if m == sd.Net {
+		t.Fatal("guard must return a clone, not the input itself")
+	}
+	if note == "" {
+		t.Fatal("revert must set a note")
+	}
+	if sp.Counter("flow_reverted") != 1 {
+		t.Fatal("revert must record flow_reverted on the span")
+	}
+	// And the keep path must NOT record a revert.
+	tr2 := obs.New()
+	sp2 := tr2.Begin("flow.test")
+	note2 := ""
+	better := Metrics{Regs: sd.Regs, Clk: sd.Clk - 0.5, Area: sd.Area}
+	keep := sd.Net.Clone()
+	m2, _ := guardAgainstHarm(sd.Net, lib, keep, better, &note2, sp2)
+	sp2.End()
+	if m2 != keep || note2 != "" || sp2.Counter("flow_reverted") != 0 {
+		t.Fatal("keep path must not record a revert")
+	}
+}
+
+// TestRunAllTracedEmitsPerFlowSpans asserts the three flows appear as
+// separate top-level spans with wall time and that counters land under
+// the right flow.
+func TestRunAllTracedEmitsPerFlowSpans(t *testing.T) {
+	c, _ := bench.ByName("bbtas")
+	src, err := c.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := obs.New()
+	if _, _, _, err := RunAllT(src, genlib.Lib2(), tr); err != nil {
+		t.Fatal(err)
+	}
+	var names []string
+	for _, s := range tr.Root().Children() {
+		names = append(names, s.Name)
+		if s.Dur() <= 0 {
+			t.Fatalf("span %s has no wall time", s.Name)
+		}
+	}
+	want := []string{"flow.script_delay", "flow.retime_combopt", "flow.resynthesis"}
+	if len(names) != len(want) {
+		t.Fatalf("top-level spans = %v, want %v", names, want)
+	}
+	for i := range want {
+		if names[i] != want[i] {
+			t.Fatalf("top-level spans = %v, want %v", names, want)
+		}
+	}
+	if tr.Root().Find("retime.min_period") == nil {
+		t.Fatal("retiming span missing from the tree")
 	}
 }

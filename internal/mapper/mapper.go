@@ -13,6 +13,7 @@ import (
 	"repro/internal/genlib"
 	"repro/internal/logic"
 	"repro/internal/network"
+	"repro/internal/obs"
 )
 
 const (
@@ -118,6 +119,22 @@ type choice struct {
 // coverable by 4-feasible cuts over the library; algebraic.OptimizeDelay
 // produces suitable subject graphs).
 func MapDelay(n *network.Network, lib *genlib.Library) (*network.Network, error) {
+	return MapDelayT(n, lib, nil)
+}
+
+// MapDelayT is MapDelay with tracing: a "mapper.map_delay" span counting
+// the cuts enumerated and the (cut, gate) candidates tried by the DP.
+func MapDelayT(n *network.Network, lib *genlib.Library, tr *obs.Tracer) (*network.Network, error) {
+	sp := tr.Begin("mapper.map_delay")
+	defer sp.End()
+	cutsEnumerated, candidatesTried := 0, 0
+	m, err := mapDelay(n, lib, &cutsEnumerated, &candidatesTried)
+	sp.Add("mapper_cuts", int64(cutsEnumerated))
+	sp.Add("mapper_candidates", int64(candidatesTried))
+	return m, err
+}
+
+func mapDelay(n *network.Network, lib *genlib.Library, cutsEnumerated, candidatesTried *int) (*network.Network, error) {
 	order, err := n.TopoOrder()
 	if err != nil {
 		return nil, err
@@ -175,6 +192,7 @@ func MapDelay(n *network.Network, lib *genlib.Library) (*network.Network, error)
 			if !ok {
 				return
 			}
+			*cutsEnumerated++
 			cand = append(cand, cut{leaves: leaves, tt: tt})
 		}
 		switch len(v.Fanins) {
@@ -206,6 +224,7 @@ func MapDelay(n *network.Network, lib *genlib.Library) (*network.Network, error)
 			nLeaves := len(c.leaves)
 			// Compact the tt to the significant variables only.
 			for _, m := range lib.Match(truncTT(c.tt, nLeaves), nLeaves) {
+				*candidatesTried++
 				a := 0.0
 				for li, leaf := range c.leaves {
 					la := arr[leaf] + m.G.PinDelays[m.PinFor[li]]

@@ -1,0 +1,392 @@
+// Package obs is the pipeline-wide observability layer: hierarchical wall-
+// clock spans (flow → pass → step), typed transformation counters, and two
+// sinks — a human-readable summary tree and a JSON-lines event stream.
+//
+// The paper's argument is quantitative (Table I compares flows on
+// registers, clock period, and area), so every flow and pass in this
+// repository reports *what it did* (gates duplicated, stems split, DCret
+// pairs discovered, literals saved, retiming moves applied/reverted, BDD
+// frontier sizes, mapper candidates tried) and *how long it took*. Any
+// hot-path claim in later PRs must come with a span breakdown from this
+// package.
+//
+// Every method is nil-safe: a nil *Tracer (and the nil *Span it hands out)
+// is a zero-allocation no-op, so instrumented call sites never need to
+// guard. Stdlib only.
+package obs
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Tracer owns a tree of spans and an optional JSON-lines sink. The zero
+// value is not usable; construct with New or NewJSON. A nil Tracer is a
+// valid no-op.
+type Tracer struct {
+	mu    sync.Mutex
+	root  *Span
+	cur   *Span
+	start time.Time
+	json  io.Writer
+}
+
+// Span is one timed region of the pipeline. Spans nest: Begin under an
+// open span creates a child. A nil Span is a valid no-op.
+type Span struct {
+	Name     string
+	tracer   *Tracer
+	parent   *Span
+	children []*Span
+	counters map[string]int64
+	start    time.Time
+	dur      time.Duration
+	open     bool
+}
+
+// New creates a tracer with no JSON sink.
+func New() *Tracer {
+	t := &Tracer{start: time.Now()}
+	t.root = &Span{tracer: t, start: t.start, open: true}
+	t.cur = t.root
+	return t
+}
+
+// NewJSON creates a tracer that additionally streams every span start/end
+// and event to w as JSON lines (one Event object per line).
+func NewJSON(w io.Writer) *Tracer {
+	t := New()
+	t.json = w
+	return t
+}
+
+// SetJSON attaches (or replaces) the JSON-lines sink.
+func (t *Tracer) SetJSON(w io.Writer) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	t.json = w
+	t.mu.Unlock()
+}
+
+// Begin opens a new span as a child of the innermost open span and makes
+// it current. It returns nil on a nil tracer.
+func (t *Tracer) Begin(name string) *Span {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	s := &Span{Name: name, tracer: t, parent: t.cur, start: time.Now(), open: true}
+	t.cur.children = append(t.cur.children, s)
+	t.cur = s
+	t.emit(Event{Ev: "span_start", Span: s.path(), TMs: t.sinceStart(s.start)})
+	return s
+}
+
+// End closes the span, records its duration, and pops the current-span
+// cursor back to its parent. Ending an already-closed span is a no-op.
+func (s *Span) End() {
+	if s == nil {
+		return
+	}
+	t := s.tracer
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if !s.open {
+		return
+	}
+	s.dur = time.Since(s.start)
+	s.open = false
+	// Close any children left open (defensive: an early return inside a
+	// pass), then pop the cursor to this span's parent.
+	for c := t.cur; c != nil && c != s; c = c.parent {
+		if c.open {
+			c.dur = time.Since(c.start)
+			c.open = false
+		}
+	}
+	t.cur = s.parent
+	t.emit(Event{
+		Ev:       "span_end",
+		Span:     s.path(),
+		TMs:      t.sinceStart(time.Now()),
+		DurMs:    float64(s.dur) / float64(time.Millisecond),
+		Counters: copyCounters(s.counters),
+	})
+}
+
+// Add increments a named counter on the span.
+func (s *Span) Add(name string, n int64) {
+	if s == nil {
+		return
+	}
+	t := s.tracer
+	t.mu.Lock()
+	if s.counters == nil {
+		s.counters = make(map[string]int64)
+	}
+	s.counters[name] += n
+	t.mu.Unlock()
+}
+
+// Max raises a named counter to v if v is larger (peak-style metrics:
+// frontier sizes, node counts).
+func (s *Span) Max(name string, v int64) {
+	if s == nil {
+		return
+	}
+	t := s.tracer
+	t.mu.Lock()
+	if s.counters == nil {
+		s.counters = make(map[string]int64)
+	}
+	if v > s.counters[name] {
+		s.counters[name] = v
+	}
+	t.mu.Unlock()
+}
+
+// Counter returns the span's own value of one counter (children excluded).
+func (s *Span) Counter(name string) int64 {
+	if s == nil {
+		return 0
+	}
+	t := s.tracer
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return s.counters[name]
+}
+
+// Dur returns the span's wall-clock duration (elapsed-so-far while open).
+func (s *Span) Dur() time.Duration {
+	if s == nil {
+		return 0
+	}
+	t := s.tracer
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if s.open {
+		return time.Since(s.start)
+	}
+	return s.dur
+}
+
+// Add increments a counter on the innermost open span.
+func (t *Tracer) Add(name string, n int64) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	s := t.cur
+	t.mu.Unlock()
+	s.Add(name, n)
+}
+
+// Event emits a free-form named event (with optional fields) to the JSON
+// sink, tagged with the current span path. No-op without a sink.
+func (t *Tracer) Event(name string, fields map[string]any) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.emit(Event{Ev: "event", Name: name, Span: t.cur.path(), TMs: t.sinceStart(time.Now()), Fields: fields})
+}
+
+// Root returns the implicit root span (its children are the top-level
+// spans begun on the tracer).
+func (t *Tracer) Root() *Span {
+	if t == nil {
+		return nil
+	}
+	return t.root
+}
+
+// Children returns the span's child spans.
+func (s *Span) Children() []*Span {
+	if s == nil {
+		return nil
+	}
+	t := s.tracer
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return append([]*Span(nil), s.children...)
+}
+
+// Find returns the first descendant span (depth-first) with the given
+// name, or nil.
+func (s *Span) Find(name string) *Span {
+	if s == nil {
+		return nil
+	}
+	t := s.tracer
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return s.find(name)
+}
+
+func (s *Span) find(name string) *Span {
+	for _, c := range s.children {
+		if c.Name == name {
+			return c
+		}
+		if r := c.find(name); r != nil {
+			return r
+		}
+	}
+	return nil
+}
+
+// Counters aggregates every counter over the whole span tree.
+func (t *Tracer) Counters() map[string]int64 {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make(map[string]int64)
+	var walk func(s *Span)
+	walk = func(s *Span) {
+		for k, v := range s.counters {
+			out[k] += v
+		}
+		for _, c := range s.children {
+			walk(c)
+		}
+	}
+	walk(t.root)
+	return out
+}
+
+// Counter returns one aggregated counter value over the whole tree.
+func (t *Tracer) Counter(name string) int64 { return t.Counters()[name] }
+
+// WriteTree renders the human-readable summary: one line per span,
+// indented by depth, with wall time and any counters.
+func (t *Tracer) WriteTree(w io.Writer) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	var walk func(s *Span, depth int)
+	walk = func(s *Span, depth int) {
+		d := s.dur
+		if s.open {
+			d = time.Since(s.start)
+		}
+		fmt.Fprintf(w, "%-*s%-*s %9.2fms%s\n",
+			2*depth, "", 44-2*depth, s.Name, float64(d)/float64(time.Millisecond),
+			formatCounters(s.counters))
+		for _, c := range s.children {
+			walk(c, depth+1)
+		}
+	}
+	for _, c := range t.root.children {
+		walk(c, 0)
+	}
+	if len(t.root.counters) > 0 {
+		fmt.Fprintf(w, "(root)%s\n", formatCounters(t.root.counters))
+	}
+}
+
+func formatCounters(c map[string]int64) string {
+	if len(c) == 0 {
+		return ""
+	}
+	keys := make([]string, 0, len(c))
+	for k := range c {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	parts := make([]string, len(keys))
+	for i, k := range keys {
+		parts[i] = fmt.Sprintf("%s=%d", k, c[k])
+	}
+	return "  [" + strings.Join(parts, " ") + "]"
+}
+
+func (s *Span) path() string {
+	if s == nil || s.parent == nil {
+		return ""
+	}
+	p := s.parent.path()
+	if p == "" {
+		return s.Name
+	}
+	return p + "/" + s.Name
+}
+
+func (t *Tracer) sinceStart(at time.Time) float64 {
+	return float64(at.Sub(t.start)) / float64(time.Millisecond)
+}
+
+func (t *Tracer) emit(e Event) {
+	if t.json == nil {
+		return
+	}
+	b, err := json.Marshal(e)
+	if err != nil {
+		return
+	}
+	t.json.Write(append(b, '\n'))
+}
+
+func copyCounters(c map[string]int64) map[string]int64 {
+	if len(c) == 0 {
+		return nil
+	}
+	out := make(map[string]int64, len(c))
+	for k, v := range c {
+		out[k] = v
+	}
+	return out
+}
+
+// Event is one line of the JSON-lines stream.
+//
+//	{"ev":"span_start","span":"flow.resynthesis/core.resynthesize","t_ms":1.2}
+//	{"ev":"span_end","span":"...","t_ms":4.8,"dur_ms":3.6,"counters":{"dcret_pairs":2}}
+//	{"ev":"event","name":"reach_iter","span":"reach.analyze","t_ms":0.4,"fields":{"depth":3}}
+type Event struct {
+	Ev       string           `json:"ev"`
+	Span     string           `json:"span,omitempty"`
+	Name     string           `json:"name,omitempty"`
+	TMs      float64          `json:"t_ms"`
+	DurMs    float64          `json:"dur_ms,omitempty"`
+	Counters map[string]int64 `json:"counters,omitempty"`
+	Fields   map[string]any   `json:"fields,omitempty"`
+}
+
+// ReadEvents parses a JSON-lines stream produced by a Tracer sink. Blank
+// lines are skipped; any malformed line is an error.
+func ReadEvents(r io.Reader) ([]Event, error) {
+	var out []Event
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 8*1024*1024)
+	line := 0
+	for sc.Scan() {
+		line++
+		s := strings.TrimSpace(sc.Text())
+		if s == "" {
+			continue
+		}
+		var e Event
+		if err := json.Unmarshal([]byte(s), &e); err != nil {
+			return nil, fmt.Errorf("obs: line %d: %w", line, err)
+		}
+		out = append(out, e)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}

@@ -1,0 +1,168 @@
+package obs
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestSpanTreeAndCounters(t *testing.T) {
+	tr := New()
+	flow := tr.Begin("flow.resynthesis")
+	pass := tr.Begin("core.resynthesize")
+	pass.Add("gates_duplicated", 3)
+	pass.Add("gates_duplicated", 2)
+	step := tr.Begin("dcret_simplify")
+	step.Add("lits_saved", 7)
+	step.End()
+	pass.End()
+	tr.Add("flow_reverted", 1) // lands on flow, the innermost open span
+	flow.End()
+
+	if got := tr.Counter("gates_duplicated"); got != 5 {
+		t.Fatalf("gates_duplicated = %d, want 5", got)
+	}
+	if got := tr.Counter("lits_saved"); got != 7 {
+		t.Fatalf("lits_saved = %d, want 7", got)
+	}
+	if flow.Counter("flow_reverted") != 1 {
+		t.Fatalf("flow_reverted must land on the flow span")
+	}
+	if tr.Root().Find("dcret_simplify") == nil {
+		t.Fatal("step span missing from tree")
+	}
+	kids := tr.Root().Children()
+	if len(kids) != 1 || kids[0].Name != "flow.resynthesis" {
+		t.Fatalf("unexpected top-level spans: %v", kids)
+	}
+	if kids[0].Dur() <= 0 {
+		t.Fatal("closed span must have positive duration")
+	}
+
+	var buf bytes.Buffer
+	tr.WriteTree(&buf)
+	out := buf.String()
+	for _, want := range []string{"flow.resynthesis", "core.resynthesize", "dcret_simplify", "gates_duplicated=5", "lits_saved=7"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("tree output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestMaxCounter(t *testing.T) {
+	tr := New()
+	sp := tr.Begin("reach.analyze")
+	sp.Max("reach_frontier_peak_nodes", 10)
+	sp.Max("reach_frontier_peak_nodes", 4)
+	sp.Max("reach_frontier_peak_nodes", 25)
+	sp.End()
+	if got := sp.Counter("reach_frontier_peak_nodes"); got != 25 {
+		t.Fatalf("peak = %d, want 25", got)
+	}
+}
+
+func TestEndClosesOpenChildren(t *testing.T) {
+	tr := New()
+	flow := tr.Begin("flow")
+	tr.Begin("pass") // never explicitly ended (early return in a pass)
+	flow.End()
+	next := tr.Begin("after")
+	next.End()
+	kids := tr.Root().Children()
+	if len(kids) != 2 {
+		t.Fatalf("want 2 top-level spans, got %d", len(kids))
+	}
+	if pass := tr.Root().Find("pass"); pass == nil || pass.open {
+		t.Fatal("orphaned child must be closed by parent End")
+	}
+}
+
+func TestJSONLinesRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	tr := NewJSON(&buf)
+	sp := tr.Begin("flow.script_delay")
+	tr.Event("note", map[string]any{"circuit": "s27"})
+	sp.Add("mapper_candidates", 42)
+	sp.End()
+
+	evs, err := ReadEvents(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(evs) != 3 {
+		t.Fatalf("want 3 events (start, event, end), got %d", len(evs))
+	}
+	if evs[0].Ev != "span_start" || evs[0].Span != "flow.script_delay" {
+		t.Fatalf("bad start event: %+v", evs[0])
+	}
+	if evs[1].Ev != "event" || evs[1].Name != "note" || evs[1].Fields["circuit"] != "s27" {
+		t.Fatalf("bad generic event: %+v", evs[1])
+	}
+	end := evs[2]
+	if end.Ev != "span_end" || end.Counters["mapper_candidates"] != 42 || end.DurMs < 0 {
+		t.Fatalf("bad end event: %+v", end)
+	}
+}
+
+func TestReadEventsRejectsGarbage(t *testing.T) {
+	if _, err := ReadEvents(strings.NewReader("{\"ev\":\"x\"}\nnot json\n")); err == nil {
+		t.Fatal("want error on malformed line")
+	}
+}
+
+func TestNilTracerIsSafe(t *testing.T) {
+	var tr *Tracer
+	sp := tr.Begin("x")
+	if sp != nil {
+		t.Fatal("nil tracer must hand out nil spans")
+	}
+	sp.Add("c", 1)
+	sp.Max("c", 2)
+	sp.End()
+	tr.Add("c", 1)
+	tr.Event("e", nil)
+	tr.WriteTree(&bytes.Buffer{})
+	if tr.Counters() != nil || tr.Counter("c") != 0 || tr.Root() != nil {
+		t.Fatal("nil tracer must report nothing")
+	}
+	var s2 *Span
+	if s2.Counter("c") != 0 || s2.Dur() != 0 || s2.Find("x") != nil || s2.Children() != nil {
+		t.Fatal("nil span must report nothing")
+	}
+}
+
+// TestNilTracerNoAllocs pins the acceptance criterion: a nil Tracer adds no
+// allocations on the hot path.
+func TestNilTracerNoAllocs(t *testing.T) {
+	var tr *Tracer
+	allocs := testing.AllocsPerRun(1000, func() {
+		sp := tr.Begin("pass")
+		sp.Add("counter", 1)
+		sp.Max("peak", 3)
+		sp.End()
+		tr.Add("counter", 1)
+	})
+	if allocs != 0 {
+		t.Fatalf("nil tracer allocated %.1f times per op, want 0", allocs)
+	}
+}
+
+func BenchmarkNilTracer(b *testing.B) {
+	var tr *Tracer
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		sp := tr.Begin("pass")
+		sp.Add("counter", 1)
+		sp.End()
+	}
+}
+
+func BenchmarkLiveSpan(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		tr := New() // fresh tracer: keeps the retained tree O(1) per op
+		sp := tr.Begin("pass")
+		sp.Add("counter", 1)
+		sp.End()
+	}
+}

@@ -14,6 +14,7 @@ import (
 	"repro/internal/bdd"
 	"repro/internal/logic"
 	"repro/internal/network"
+	"repro/internal/obs"
 )
 
 // Analysis is the result of reachability on one network.
@@ -35,6 +36,12 @@ type Analysis struct {
 	Reachable bdd.Ref
 	// Depth is the number of image steps until the fixpoint.
 	Depth int
+	// Stats snapshots the BDD manager accounting (node counts, unique
+	// table, compute-cache hits/misses) at the fixpoint.
+	Stats bdd.Stats
+	// FrontierPeakNodes is the largest frontier BDD (in internal nodes)
+	// seen during the fixpoint iteration.
+	FrontierPeakNodes int
 }
 
 // Limits bounds the analysis; zero values mean "no limit".
@@ -48,21 +55,41 @@ type Limits struct {
 var DefaultLimits = Limits{MaxLatches: 24, MaxBDDNodes: 2_000_000}
 
 // ErrTooLarge is returned when the circuit exceeds the configured limits.
+// Analyze wraps it with the observed node/iteration numbers; match with
+// errors.Is, not ==.
 var ErrTooLarge = fmt.Errorf("reach: circuit exceeds implicit-enumeration limits")
 
 // Analyze computes the reachable state set from the declared initial state.
-func Analyze(n *network.Network, lim Limits) (a *Analysis, err error) {
+func Analyze(n *network.Network, lim Limits) (*Analysis, error) {
+	return AnalyzeT(n, lim, nil)
+}
+
+// AnalyzeT is Analyze with tracing: one "reach.analyze" span carrying the
+// iteration count, frontier peak, and BDD table counters, plus one
+// "reach_iter" event per image step on the JSON sink.
+func AnalyzeT(n *network.Network, lim Limits, tr *obs.Tracer) (a *Analysis, err error) {
 	L := len(n.Latches)
 	if lim.MaxLatches > 0 && L > lim.MaxLatches {
-		return nil, ErrTooLarge
+		return nil, fmt.Errorf("reach: %d latches exceed the %d-latch limit: %w",
+			L, lim.MaxLatches, ErrTooLarge)
 	}
 	nv := 2*L + len(n.PIs)
 	m := bdd.New(nv)
 	m.MaxNodes = lim.MaxBDDNodes
+	sp := tr.Begin("reach.analyze")
+	defer sp.End()
+	depth := 0
 	defer func() {
-		if r := recover(); r != nil {
+		r := recover()
+		st := m.Stats()
+		sp.Add("reach_iterations", int64(depth))
+		sp.Add("bdd_nodes", int64(st.PeakNodes))
+		sp.Add("bdd_cache_hits", st.CacheHits)
+		sp.Add("bdd_cache_misses", st.CacheMisses)
+		if r != nil {
 			if r == bdd.ErrNodeLimit {
-				a, err = nil, ErrTooLarge
+				a, err = nil, fmt.Errorf("reach: state space too large: %d BDD nodes for %d latches after %d image steps (limit %d): %w",
+					st.Nodes, L, depth, lim.MaxBDDNodes, ErrTooLarge)
 				return
 			}
 			panic(r)
@@ -100,10 +127,10 @@ func Analyze(n *network.Network, lim Limits) (a *Analysis, err error) {
 	a.Init = init
 
 	// Transition relation: ∏ (next_i ↔ δ_i).
-	tr := bdd.True
+	rel := bdd.True
 	for i, l := range n.Latches {
 		delta := a.NodeFn[l.Driver]
-		tr = m.And(tr, m.Xnor(m.Var(a.NextVar[i]), delta))
+		rel = m.And(rel, m.Xnor(m.Var(a.NextVar[i]), delta))
 	}
 
 	// Quantification schedule: current vars and inputs.
@@ -126,8 +153,16 @@ func Analyze(n *network.Network, lim Limits) (a *Analysis, err error) {
 
 	reached := init
 	frontier := init
-	for depth := 0; ; depth++ {
-		img := m.AndExists(frontier, tr, quant)
+	for ; ; depth++ {
+		if fn := m.NodeCount(frontier); fn > a.FrontierPeakNodes {
+			a.FrontierPeakNodes = fn
+		}
+		if tr != nil {
+			tr.Event("reach_iter", map[string]any{
+				"depth": depth, "frontier_nodes": m.NodeCount(frontier), "bdd_nodes": m.Size(),
+			})
+		}
+		img := m.AndExists(frontier, rel, quant)
 		img = m.Permute(img, perm)
 		newStates := m.And(img, m.Not(reached))
 		if newStates == bdd.False {
@@ -138,6 +173,8 @@ func Analyze(n *network.Network, lim Limits) (a *Analysis, err error) {
 		frontier = newStates
 	}
 	a.Reachable = reached
+	a.Stats = m.Stats()
+	sp.Max("reach_frontier_peak_nodes", int64(a.FrontierPeakNodes))
 	return a, nil
 }
 

@@ -1,11 +1,15 @@
 package reach
 
 import (
+	"bytes"
+	"errors"
+	"strings"
 	"testing"
 
 	"repro/internal/blif"
 	"repro/internal/logic"
 	"repro/internal/network"
+	"repro/internal/obs"
 )
 
 // counter3 is a free-running 3-bit counter: all 8 states reachable.
@@ -136,10 +140,59 @@ func TestInitXUnconstrained(t *testing.T) {
 
 func TestLimits(t *testing.T) {
 	n, _ := blif.ParseString(counter3)
-	if _, err := Analyze(n, Limits{MaxLatches: 2}); err != ErrTooLarge {
+	if _, err := Analyze(n, Limits{MaxLatches: 2}); !errors.Is(err, ErrTooLarge) {
 		t.Fatalf("latch limit not enforced: %v", err)
 	}
-	if _, err := Analyze(n, Limits{MaxBDDNodes: 8}); err != ErrTooLarge {
+	if _, err := Analyze(n, Limits{MaxBDDNodes: 8}); !errors.Is(err, ErrTooLarge) {
 		t.Fatalf("node limit not enforced: %v", err)
+	}
+	// The wrapped errors must carry the observed numbers, not a bare string.
+	_, err := Analyze(n, Limits{MaxLatches: 2})
+	if !strings.Contains(err.Error(), "3 latches") {
+		t.Fatalf("latch-limit error lacks the latch count: %v", err)
+	}
+	_, err = Analyze(n, Limits{MaxBDDNodes: 8})
+	if !strings.Contains(err.Error(), "BDD nodes") || !strings.Contains(err.Error(), "image steps") {
+		t.Fatalf("node-limit error lacks node/iteration numbers: %v", err)
+	}
+}
+
+func TestAnalysisStatsAndTrace(t *testing.T) {
+	n, _ := blif.ParseString(counter3)
+	var buf bytes.Buffer
+	tr := obs.NewJSON(&buf)
+	a, err := AnalyzeT(n, DefaultLimits, tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Stats.Nodes == 0 || a.Stats.UniqueSize == 0 || a.Stats.CacheMisses == 0 {
+		t.Fatalf("BDD stats not populated: %+v", a.Stats)
+	}
+	if a.FrontierPeakNodes <= 0 {
+		t.Fatal("frontier peak not recorded")
+	}
+	sp := tr.Root().Find("reach.analyze")
+	if sp == nil {
+		t.Fatal("reach.analyze span missing")
+	}
+	if sp.Counter("reach_iterations") != int64(a.Depth) {
+		t.Fatalf("span iterations %d != depth %d", sp.Counter("reach_iterations"), a.Depth)
+	}
+	if sp.Counter("bdd_nodes") != int64(a.Stats.PeakNodes) {
+		t.Fatal("span bdd_nodes does not match manager stats")
+	}
+	evs, err := obs.ReadEvents(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	iters := 0
+	for _, e := range evs {
+		if e.Ev == "event" && e.Name == "reach_iter" {
+			iters++
+		}
+	}
+	// One event per image step plus the fixpoint check.
+	if iters != a.Depth+1 {
+		t.Fatalf("got %d reach_iter events, want %d", iters, a.Depth+1)
 	}
 }

@@ -5,6 +5,7 @@ import (
 	"math"
 
 	"repro/internal/network"
+	"repro/internal/obs"
 )
 
 // This file implements constrained min-area retiming: minimize the number
@@ -174,6 +175,23 @@ func (g *Graph) components() []int {
 // limit, greedy peephole otherwise or when the exact lags cannot be
 // realized with consistent initial states.
 func MinAreaUnderPeriod(n *network.Network, d VertexDelay, c float64) (*network.Network, Info, error) {
+	return MinAreaUnderPeriodT(n, d, c, nil)
+}
+
+// MinAreaUnderPeriodT is MinAreaUnderPeriod with tracing: a
+// "retime.min_area" span carrying applied/reverted move counters.
+func MinAreaUnderPeriodT(n *network.Network, d VertexDelay, c float64, tr *obs.Tracer) (*network.Network, Info, error) {
+	sp := tr.Begin("retime.min_area")
+	defer sp.End()
+	net, info, err := minAreaUnderPeriod(n, d, c)
+	info.record(sp)
+	if err != nil {
+		sp.Add("retime_failed", 1)
+	}
+	return net, info, err
+}
+
+func minAreaUnderPeriod(n *network.Network, d VertexDelay, c float64) (*network.Network, Info, error) {
 	var info Info
 	work := n.Clone()
 	g, err := BuildGraph(work, d)
@@ -262,6 +280,7 @@ func greedyMinArea(n *network.Network, d VertexDelay, c float64, info *Info) {
 					}
 				}
 				restore(n, snapshot)
+				info.RevertedMoves++
 				continue
 			}
 			// Candidate forward move: wins when it frees more fanin
@@ -288,6 +307,7 @@ func greedyMinArea(n *network.Network, d VertexDelay, c float64, info *Info) {
 					}
 				}
 				restore(n, snapshot)
+				info.RevertedMoves++
 			}
 		}
 		if !improved {

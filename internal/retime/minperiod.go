@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"repro/internal/network"
+	"repro/internal/obs"
 )
 
 // Info summarizes a retiming run.
@@ -14,11 +15,23 @@ type Info struct {
 	RegsAfter     int
 	ForwardMoves  int
 	BackwardMoves int
+	// RevertedMoves counts tentative moves undone because they missed the
+	// period target or failed to reduce registers (greedy min-area only).
+	RevertedMoves int
 }
 
 func (i Info) String() string {
 	return fmt.Sprintf("period %.2f -> %.2f, regs %d -> %d (%d fwd, %d bwd moves)",
 		i.PeriodBefore, i.PeriodAfter, i.RegsBefore, i.RegsAfter, i.ForwardMoves, i.BackwardMoves)
+}
+
+// record writes the run's transformation counters onto a span.
+func (i Info) record(sp *obs.Span) {
+	sp.Add("retime_moves_applied", int64(i.ForwardMoves+i.BackwardMoves))
+	sp.Add("regs_forward_moved", int64(i.ForwardMoves))
+	if i.RevertedMoves > 0 {
+		sp.Add("retime_moves_reverted", int64(i.RevertedMoves))
+	}
 }
 
 // arrivals computes Δ(v): the longest zero-weight-path delay ending at each
@@ -205,6 +218,28 @@ func Apply(n *network.Network, g *Graph, r []int) (fwd, bwd int, err error) {
 // consistent initial states — the failure mode the paper reports for
 // conventional retiming on several benchmarks.
 func MinPeriod(n *network.Network, d VertexDelay) (*network.Network, Info, error) {
+	return MinPeriodT(n, d, nil)
+}
+
+// MinPeriodT is MinPeriod with tracing: a "retime.min_period" span carrying
+// applied-move counters, and a "retime_failed" counter on error.
+func MinPeriodT(n *network.Network, d VertexDelay, tr *obs.Tracer) (*network.Network, Info, error) {
+	sp := tr.Begin("retime.min_period")
+	defer sp.End()
+	net, info, err := minPeriod(n, d)
+	info.record(sp)
+	if err != nil {
+		sp.Add("retime_failed", 1)
+	} else {
+		tr.Event("retime.min_period", map[string]any{
+			"period_before": info.PeriodBefore, "period_after": info.PeriodAfter,
+			"regs_before": info.RegsBefore, "regs_after": info.RegsAfter,
+		})
+	}
+	return net, info, err
+}
+
+func minPeriod(n *network.Network, d VertexDelay) (*network.Network, Info, error) {
 	var info Info
 	work := n.Clone()
 	g, err := BuildGraph(work, d)
