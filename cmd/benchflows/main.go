@@ -8,10 +8,12 @@
 // Usage:
 //
 //	benchflows [-out BENCH_flows.json] [-circuits ex2,bbtas,...] [-skip-large]
+//	           [-timeout 60s] [-pass-timeout 10s]
 package main
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -22,6 +24,7 @@ import (
 	"repro/internal/bench"
 	"repro/internal/flows"
 	"repro/internal/genlib"
+	"repro/internal/guard"
 	"repro/internal/obs"
 )
 
@@ -54,6 +57,8 @@ func main() {
 	out := flag.String("out", "BENCH_flows.json", "output JSON file")
 	circuitsFlag := flag.String("circuits", "", "comma-separated circuit names (default: all of Table I)")
 	skipLarge := flag.Bool("skip-large", false, "skip circuits with more than 1000 gates")
+	timeout := flag.Duration("timeout", 0, "wall-clock budget per flow; a circuit exceeding it reports a typed error instead of hanging the sweep (0 = unbounded)")
+	passTimeout := flag.Duration("pass-timeout", 0, "wall-clock budget per pass within a flow (0 = unbounded)")
 	flag.Parse()
 
 	suite := bench.TableI()
@@ -71,9 +76,10 @@ func main() {
 	}
 
 	lib := genlib.Lib2()
+	budget := guard.Budget{Flow: *timeout, Pass: *passTimeout}
 	rep := benchReport{Schema: "bench_flows/v1"}
 	for _, c := range suite {
-		cr := runCircuit(c, lib, *skipLarge)
+		cr := runCircuit(c, lib, budget, *skipLarge)
 		rep.Circuits = append(rep.Circuits, cr)
 		status := "ok"
 		switch {
@@ -100,7 +106,7 @@ func main() {
 	fmt.Printf("wrote %s (%d circuits)\n", *out, len(rep.Circuits))
 }
 
-func runCircuit(c bench.Circuit, lib *genlib.Library, skipLarge bool) circuitReport {
+func runCircuit(c bench.Circuit, lib *genlib.Library, budget guard.Budget, skipLarge bool) circuitReport {
 	cr := circuitReport{Circuit: c.Name, Flows: map[string]flowMetrics{}}
 	src, err := c.Build()
 	if err != nil {
@@ -116,7 +122,8 @@ func runCircuit(c bench.Circuit, lib *genlib.Library, skipLarge bool) circuitRep
 	var buf bytes.Buffer
 	tr := obs.NewJSON(&buf)
 	start := time.Now()
-	sd, ret, rsyn, err := flows.RunAllT(src, lib, tr)
+	sd, ret, rsyn, err := flows.RunAllCtx(context.Background(), src, lib,
+		flows.Config{Tracer: tr, Budget: budget})
 	cr.WallMS = float64(time.Since(start)) / float64(time.Millisecond)
 	if err != nil {
 		cr.Error = err.Error()

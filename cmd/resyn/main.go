@@ -5,10 +5,11 @@
 // Usage:
 //
 //	resyn -in circuit.blif [-kiss] [-flow script|retime|resyn|core] [-out out.blif] [-verify]
-//	      [-trace] [-stats-json events.jsonl]
+//	      [-timeout 30s] [-pass-timeout 5s] [-trace] [-stats-json events.jsonl]
 package main
 
 import (
+	"context"
 	"errors"
 	"flag"
 	"fmt"
@@ -18,6 +19,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/flows"
 	"repro/internal/genlib"
+	"repro/internal/guard"
 	"repro/internal/kiss"
 	"repro/internal/network"
 	"repro/internal/obs"
@@ -34,6 +36,8 @@ func main() {
 	verify := flag.Bool("verify", true, "verify the result against the input")
 	trace := flag.Bool("trace", false, "print the span tree with per-pass wall time and counters")
 	statsJSON := flag.String("stats-json", "", "write the JSON-lines trace event stream to this file")
+	timeout := flag.Duration("timeout", 0, "wall-clock budget per flow; exceeding it degrades or fails with a typed error (0 = unbounded)")
+	passTimeout := flag.Duration("pass-timeout", 0, "wall-clock budget per pass within a flow (0 = unbounded)")
 	flag.Parse()
 	if *in == "" {
 		flag.Usage()
@@ -76,25 +80,33 @@ func main() {
 	fmt.Printf("input: %s (%v)\n", src.Name, src.Stat())
 
 	lib := genlib.Lib2()
+	ctx := context.Background()
+	cfg := flows.Config{
+		Tracer: tr,
+		Budget: guard.Budget{Flow: *timeout, Pass: *passTimeout},
+	}
 	var result *flows.Result
 	switch *flow {
 	case "script":
-		result, err = flows.ScriptDelayT(src, lib, tr)
+		result, err = flows.ScriptDelayCtx(ctx, src, lib, cfg)
 	case "retime":
 		var sd *flows.Result
-		sd, err = flows.ScriptDelayT(src, lib, tr)
+		sd, err = flows.ScriptDelayCtx(ctx, src, lib, cfg)
 		if err == nil {
-			result, err = flows.RetimeCombOptT(sd.Net, lib, tr)
+			result, err = flows.RetimeCombOptCtx(ctx, sd.Net, lib, cfg)
 		}
 	case "resyn":
 		var sd *flows.Result
-		sd, err = flows.ScriptDelayT(src, lib, tr)
+		sd, err = flows.ScriptDelayCtx(ctx, src, lib, cfg)
 		if err == nil {
-			result, err = flows.ResynthesisT(sd.Net, lib, tr)
+			result, err = flows.ResynthesisCtx(ctx, sd.Net, lib, cfg)
 		}
 	case "core":
-		// Raw Algorithm 1 under the unit-delay model, no mapping.
-		res, cerr := core.ResynthesizeIterate(src, core.Options{Tracer: tr}, 4)
+		// Raw Algorithm 1 under the unit-delay model, no mapping; the flow
+		// budget bounds the whole iterated run.
+		cctx, cancel := cfg.Budget.FlowContext(ctx)
+		res, cerr := core.ResynthesizeIterateCtx(cctx, src, core.Options{Tracer: tr}, 4)
+		cancel()
 		if cerr != nil {
 			fatal(cerr)
 		}

@@ -6,10 +6,12 @@
 //
 // Usage:
 //
-//	tablegen [-circuits ex2,bbtas,...] [-verify] [-skip-large] [-trace] [-stats-json events.jsonl]
+//	tablegen [-circuits ex2,bbtas,...] [-verify] [-skip-large] [-timeout 60s]
+//	         [-pass-timeout 10s] [-trace] [-stats-json events.jsonl]
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -19,6 +21,7 @@ import (
 	"repro/internal/bench"
 	"repro/internal/flows"
 	"repro/internal/genlib"
+	"repro/internal/guard"
 	"repro/internal/obs"
 )
 
@@ -28,6 +31,8 @@ func main() {
 	skipLarge := flag.Bool("skip-large", false, "skip circuits with more than 1000 gates")
 	trace := flag.Bool("trace", false, "print the per-circuit span tree with wall time and counters")
 	statsJSON := flag.String("stats-json", "", "write the JSON-lines trace event stream to this file")
+	timeout := flag.Duration("timeout", 0, "wall-clock budget per flow; a circuit exceeding it reports a typed error instead of stalling the table (0 = unbounded)")
+	passTimeout := flag.Duration("pass-timeout", 0, "wall-clock budget per pass within a flow (0 = unbounded)")
 	flag.Parse()
 
 	var tr *obs.Tracer
@@ -80,7 +85,10 @@ func main() {
 		}
 		start := time.Now()
 		csp := tr.Begin(c.Name)
-		sd, ret, rsyn, err := flows.RunAllT(src, lib, tr)
+		sd, ret, rsyn, err := flows.RunAllCtx(context.Background(), src, lib, flows.Config{
+			Tracer: tr,
+			Budget: guard.Budget{Flow: *timeout, Pass: *passTimeout},
+		})
 		csp.End()
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "%s: flow failed: %v\n", c.Name, err)

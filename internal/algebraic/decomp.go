@@ -1,8 +1,10 @@
 package algebraic
 
 import (
+	"context"
 	"sort"
 
+	"repro/internal/guard"
 	"repro/internal/logic"
 	"repro/internal/network"
 	"repro/internal/obs"
@@ -138,21 +140,44 @@ func OptimizeDelay(n *network.Network) error {
 // span with one child step span per script pass and counters for nodes
 // simplified/eliminated, kernels extracted, and literals saved.
 func OptimizeDelayT(n *network.Network, tr *obs.Tracer) error {
+	return OptimizeDelayCtx(context.Background(), n, tr)
+}
+
+// OptimizeDelayCtx is OptimizeDelayT with cancellation, checked between
+// script passes; exceeding the deadline returns a typed guard budget error
+// with the network left in a valid intermediate state.
+func OptimizeDelayCtx(ctx context.Context, n *network.Network, tr *obs.Tracer) error {
 	sp := tr.Begin("algebraic.optimize")
 	defer sp.End()
 	litsIn := n.NumLits()
 	simplified, eliminated, kernels := 0, 0, 0
-	step := func(name string, f func()) {
+	step := func(name string, f func()) error {
+		if cerr := guard.Check(ctx, "algebraic.optimize"); cerr != nil {
+			return cerr
+		}
 		s := tr.Begin(name)
 		f()
 		s.End()
+		return nil
 	}
-	step("sweep", func() { n.Sweep(); n.TrimAllFanins() })
-	step("simplify", func() { simplified += SimplifyNodes(n) })
-	step("eliminate", func() { eliminated = Eliminate(n, 0) })
-	step("simplify", func() { simplified += SimplifyNodes(n) })
-	step("kernels", func() { kernels = ExtractKernels(n, 64) })
-	step("simplify", func() { simplified += SimplifyNodes(n) })
+	for _, st := range []struct {
+		name string
+		f    func()
+	}{
+		{"sweep", func() { n.Sweep(); n.TrimAllFanins() }},
+		{"simplify", func() { simplified += SimplifyNodes(n) }},
+		{"eliminate", func() { eliminated = Eliminate(n, 0) }},
+		{"simplify", func() { simplified += SimplifyNodes(n) }},
+		{"kernels", func() { kernels = ExtractKernels(n, 64) }},
+		{"simplify", func() { simplified += SimplifyNodes(n) }},
+	} {
+		if err := step(st.name, st.f); err != nil {
+			return err
+		}
+	}
+	if cerr := guard.Check(ctx, "algebraic.optimize"); cerr != nil {
+		return cerr
+	}
 	ds := tr.Begin("decompose")
 	err := DecomposeBalanced(n)
 	ds.End()

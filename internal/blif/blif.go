@@ -100,10 +100,18 @@ func Read(r io.Reader) (*network.Network, error) {
 				le.input, le.output = fields[1], fields[2]
 			case 4:
 				le.input, le.output = fields[1], fields[2]
-				le.init = parseInit(fields[3])
+				iv, err := parseInit(fields[3])
+				if err != nil {
+					return nil, fmt.Errorf("blif:%d: %v", lineNo, err)
+				}
+				le.init = iv
 			case 6:
 				le.input, le.output = fields[1], fields[2]
-				le.init = parseInit(fields[5])
+				iv, err := parseInit(fields[5])
+				if err != nil {
+					return nil, fmt.Errorf("blif:%d: %v", lineNo, err)
+				}
+				le.init = iv
 			case 5:
 				// type + control, no init
 				le.input, le.output = fields[1], fields[2]
@@ -153,14 +161,18 @@ func Read(r io.Reader) (*network.Network, error) {
 	return assemble(modelName, inputs, outputs, names, latches)
 }
 
-func parseInit(s string) network.Value {
+// parseInit accepts the BLIF initial values 0, 1, 2 (don't care) and
+// 3 (unknown); the latter two both map to X. Anything else is malformed.
+func parseInit(s string) (network.Value, error) {
 	switch s {
 	case "0":
-		return network.V0
+		return network.V0, nil
 	case "1":
-		return network.V1
+		return network.V1, nil
+	case "2", "3":
+		return network.VX, nil
 	default:
-		return network.VX
+		return network.VX, fmt.Errorf("invalid latch initial value %q", s)
 	}
 }
 

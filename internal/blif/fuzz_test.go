@@ -1,0 +1,85 @@
+package blif
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzRead asserts the parser's two safety properties: it never panics on
+// arbitrary input, and every network it does accept satisfies the full
+// structural invariant (network.Check) and survives a Write/re-Read round
+// trip with the same shape. Corpus regressions from the fuzzer belong in
+// TestReadMalformed below.
+func FuzzRead(f *testing.F) {
+	seeds := []string{
+		"", ".model m\n.end\n",
+		".model m\n.inputs a\n.outputs y\n.names a y\n1 1\n.end\n",
+		".model m\n.inputs a b\n.outputs y\n.names a b y\n11 1\n-0 1\n.end\n",
+		".model m\n.inputs a\n.outputs y\n.latch q y 0\n.names a q\n1 1\n.end\n",
+		".model m\n.inputs a\n.outputs y\n.latch a y 3\n.end\n",
+		".model m\n.outputs y\n.names y\n1\n.end\n",
+		".model m\n.inputs a\n.outputs y\n.names a y\n\\\n1 1\n.end\n",
+		".model m\n.inputs a\n.outputs y\n.names a y\n2 1\n.end\n",
+		".names a",
+		".latch",
+		".model\n.model\n.end",
+		".model m\n.inputs a a\n.outputs y\n.names a y\n1 1\n.end\n",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		n, err := ParseString(src)
+		if err != nil {
+			return
+		}
+		if cerr := n.Check(); cerr != nil {
+			t.Fatalf("accepted network violates invariants: %v\ninput:\n%s", cerr, src)
+		}
+		var sb strings.Builder
+		if werr := Write(&sb, n); werr != nil {
+			t.Fatalf("accepted network unwritable: %v\ninput:\n%s", werr, src)
+		}
+		n2, rerr := ParseString(sb.String())
+		if rerr != nil {
+			t.Fatalf("round trip unreadable: %v\nwritten:\n%s", rerr, sb.String())
+		}
+		if cerr := n2.Check(); cerr != nil {
+			t.Fatalf("round-tripped network invalid: %v", cerr)
+		}
+		a, b := n.Stat(), n2.Stat()
+		if a != b {
+			t.Fatalf("round trip changed the circuit: %v -> %v\ninput:\n%s", a, b, src)
+		}
+	})
+}
+
+// TestReadMalformed is the regression table for malformed constructs the
+// fuzzer (and the guard layer's corruption scenarios) care about: each must
+// be rejected with an error, not panic or slip through as a silently wrong
+// network.
+func TestReadMalformed(t *testing.T) {
+	cases := []struct {
+		name string
+		src  string
+	}{
+		{"latch too few fields", ".model m\n.inputs a\n.outputs y\n.latch q\n.end\n"},
+		{"latch bad init", ".model m\n.inputs a\n.outputs y\n.latch a q 7\n.names q y\n1 1\n.end\n"},
+		{"latch undriven input", ".model m\n.outputs y\n.latch nosuch q 0\n.names q y\n1 1\n.end\n"},
+		{"names undriven fanin", ".model m\n.outputs y\n.names ghost y\n1 1\n.end\n"},
+		{"cube wrong arity", ".model m\n.inputs a b\n.outputs y\n.names a b y\n1 1\n.end\n"},
+		{"cube bad literal", ".model m\n.inputs a\n.outputs y\n.names a y\nx 1\n.end\n"},
+		{"cube bad output", ".model m\n.inputs a\n.outputs y\n.names a y\n1 2\n.end\n"},
+		{"output never defined", ".model m\n.inputs a\n.outputs y\n.end\n"},
+		{"duplicate definition", ".model m\n.inputs a\n.outputs y\n.names a y\n1 1\n.names a y\n0 1\n.end\n"},
+		{"combinational cycle", ".model m\n.outputs y\n.names y y\n1 1\n.end\n"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			n, err := ParseString(tc.src)
+			if err == nil {
+				t.Fatalf("malformed input accepted: %v\n%s", n.Stat(), tc.src)
+			}
+		})
+	}
+}

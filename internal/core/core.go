@@ -11,10 +11,12 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
 	"repro/internal/dontcare"
+	"repro/internal/guard"
 	"repro/internal/logic"
 	"repro/internal/network"
 	"repro/internal/obs"
@@ -96,10 +98,18 @@ type Result struct {
 // the pass applies, so aggregated counters always describe the returned
 // circuit; a declined pass records resyn_declined instead.
 func Resynthesize(n *network.Network, opt Options) (*Result, error) {
+	return ResynthesizeCtx(context.Background(), n, opt)
+}
+
+// ResynthesizeCtx is Resynthesize with cancellation: the Algorithm 1 steps
+// (timing analysis, path retiming, DCret simplification, min-area recovery)
+// check ctx between phases and return a typed guard budget error once the
+// deadline passes.
+func ResynthesizeCtx(ctx context.Context, n *network.Network, opt Options) (*Result, error) {
 	opt.defaults()
 	sp := opt.Tracer.Begin("core.resynthesize")
 	defer sp.End()
-	res, err := resynthesize(n, opt)
+	res, err := resynthesize(ctx, n, opt)
 	if err != nil {
 		sp.Add("resyn_error", 1)
 		return nil, err
@@ -123,9 +133,12 @@ func Resynthesize(n *network.Network, opt Options) (*Result, error) {
 	return res, nil
 }
 
-func resynthesize(n *network.Network, opt Options) (*Result, error) {
+func resynthesize(ctx context.Context, n *network.Network, opt Options) (*Result, error) {
 	tr := opt.Tracer
 	res := &Result{Network: n, RegsBefore: len(n.Latches), RegsAfter: len(n.Latches)}
+	if cerr := guard.Check(ctx, "core.resynthesize"); cerr != nil {
+		return nil, cerr
+	}
 	st := tr.Begin("sta")
 	sta, err := timing.Analyze(n, opt.Delay)
 	if err != nil {
@@ -212,6 +225,9 @@ func resynthesize(n *network.Network, opt Options) (*Result, error) {
 	// circulate registers forever (the engine's O(n²) bound in the paper).
 	engineRegs := make(map[*network.Latch]bool)
 	for pass := 0; pass < len(path); pass++ {
+		if cerr := guard.Check(ctx, "core.resynthesize"); cerr != nil {
+			return nil, fmt.Errorf("core: path retiming interrupted at pass %d: %w", pass, cerr)
+		}
 		progress := false
 		for _, v := range path {
 			if work.FindNode(v.Name) != v {
@@ -238,6 +254,9 @@ func resynthesize(n *network.Network, opt Options) (*Result, error) {
 	// Step 4: simplify the restructured next-state logic using DCret,
 	// with local re-mapping (cone collapse) of the logic relocated behind
 	// the engine-created registers.
+	if cerr := guard.Check(ctx, "core.resynthesize"); cerr != nil {
+		return nil, cerr
+	}
 	if !opt.DisableDCRet {
 		st = tr.Begin("dcret_simplify")
 		litsIn := work.NumLits()
@@ -256,8 +275,11 @@ func resynthesize(n *network.Network, opt Options) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
+	if cerr := guard.Check(ctx, "core.resynthesize"); cerr != nil {
+		return nil, cerr
+	}
 	if !opt.SkipMinArea {
-		if ma, _, err := retime.MinAreaUnderPeriodT(work, opt.VertexDelay, p, tr); err == nil {
+		if ma, _, err := retime.MinAreaUnderPeriodCtx(ctx, work, opt.VertexDelay, p, tr); err == nil {
 			if q, err2 := timing.Period(ma, opt.Delay); err2 == nil && q <= p+1e-9 {
 				work = ma
 			}
@@ -486,6 +508,12 @@ func sweepDanglingLatches(work *network.Network) int {
 // the then-current critical path) until no further cycle-time improvement
 // or maxPasses is reached. PrefixK accumulates across passes.
 func ResynthesizeIterate(n *network.Network, opt Options, maxPasses int) (*Result, error) {
+	return ResynthesizeIterateCtx(context.Background(), n, opt, maxPasses)
+}
+
+// ResynthesizeIterateCtx is ResynthesizeIterate with cancellation, checked
+// before every pass and inside each pass's phases.
+func ResynthesizeIterateCtx(ctx context.Context, n *network.Network, opt Options, maxPasses int) (*Result, error) {
 	opt.defaults()
 	if maxPasses < 1 {
 		maxPasses = 1
@@ -495,7 +523,7 @@ func ResynthesizeIterate(n *network.Network, opt Options, maxPasses int) (*Resul
 	cur := n
 	var total *Result
 	for pass := 0; pass < maxPasses; pass++ {
-		r, err := Resynthesize(cur, opt)
+		r, err := ResynthesizeCtx(ctx, cur, opt)
 		if err != nil {
 			return nil, err
 		}

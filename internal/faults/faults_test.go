@@ -1,0 +1,217 @@
+// The acceptance suite for the robustness work: every flow in
+// flows.RunAllCtx must, under every injected fault, either complete with a
+// valid verified network (degraded flows carrying a Metrics.Note footnote)
+// or return a typed guard error. No raw panic may escape. Run with -race in
+// CI.
+package faults_test
+
+import (
+	"context"
+	"errors"
+	"reflect"
+	"strings"
+	"testing"
+
+	"repro/internal/bench"
+	"repro/internal/faults"
+	"repro/internal/flows"
+	"repro/internal/genlib"
+	"repro/internal/guard"
+	"repro/internal/network"
+)
+
+// guardedPasses are the transactional pass names consulted by the flows
+// (remap appears in both derived flows, so a forced fault hits it twice).
+var guardedPasses = []string{
+	"algebraic.optimize",
+	"mapper.map_delay",
+	"retime.min_period",
+	"reach.dc_extract",
+	"remap",
+	"core.resynthesize",
+	"retime.guide",
+}
+
+// typed reports whether err carries the guard error taxonomy: a budget
+// exhaustion, a contained panic, or a rollback wrapper.
+func typed(err error) bool {
+	var pe *guard.PassError
+	var rb *guard.RollbackError
+	return errors.Is(err, guard.ErrBudget) || errors.As(err, &pe) || errors.As(err, &rb)
+}
+
+func checkResults(t *testing.T, src *network.Network, rs ...*flows.Result) {
+	t.Helper()
+	for i, r := range rs {
+		if r == nil {
+			t.Fatalf("flow %d returned a nil result without an error", i)
+		}
+		if err := r.Net.Check(); err != nil {
+			t.Fatalf("flow %d returned an invalid network: %v", i, err)
+		}
+		if err := flows.Verify(src, r); err != nil {
+			t.Fatalf("flow %d not equivalent to the source: %v", i, err)
+		}
+	}
+}
+
+// TestTargetedFaultMatrix injects every failure mode into every guarded
+// pass, one at a time. Whatever happens inside, RunAllCtx must finish with
+// either a typed guard error or three valid, verified results; unless the
+// faulted pass is the purely opportunistic guide retiming, the degradation
+// must leave a visible footnote.
+func TestTargetedFaultMatrix(t *testing.T) {
+	kinds := []guard.Fault{guard.FaultPanic, guard.FaultCorrupt, guard.FaultDeadline}
+	for _, pass := range guardedPasses {
+		for _, kind := range kinds {
+			t.Run(pass+"/"+kind.String(), func(t *testing.T) {
+				src := bench.BuildPaperExample()
+				lib := genlib.Lib2()
+				inj := faults.NewInjector(1).Force(pass, kind)
+				sd, ret, rsyn, err := flows.RunAllCtx(context.Background(), src, lib, flows.Config{Inject: inj})
+				if !inj.Fired(pass, kind) {
+					t.Fatalf("fault %v on %s never fired; events: %v", kind, pass, inj.Events())
+				}
+				if err != nil {
+					if !typed(err) {
+						t.Fatalf("flow error is not a typed guard error: %v", err)
+					}
+					return
+				}
+				checkResults(t, src, sd, ret, rsyn)
+				if pass != "retime.guide" {
+					if sd.Note == "" && ret.Note == "" && rsyn.Note == "" {
+						t.Fatalf("no fallback note after %v on %s: sd=%v ret=%v rsyn=%v",
+							kind, pass, sd.Metrics, ret.Metrics, rsyn.Metrics)
+					}
+				}
+			})
+		}
+	}
+}
+
+// TestTargetedFaultsOnFSM repeats the worst offenders on an embedded FSM
+// benchmark (bbtas) so the harness also exercises a circuit with real state
+// encoding, not just the paper's didactic example.
+func TestTargetedFaultsOnFSM(t *testing.T) {
+	c, ok := bench.ByName("bbtas")
+	if !ok {
+		t.Fatal("bbtas missing")
+	}
+	for _, pass := range []string{"core.resynthesize", "retime.min_period", "remap"} {
+		t.Run(pass, func(t *testing.T) {
+			src, err := c.Build()
+			if err != nil {
+				t.Fatal(err)
+			}
+			inj := faults.NewInjector(3).Force(pass, guard.FaultPanic)
+			sd, ret, rsyn, err := flows.RunAllCtx(context.Background(), src, genlib.Lib2(), flows.Config{Inject: inj})
+			if err != nil {
+				if !typed(err) {
+					t.Fatalf("untyped error: %v", err)
+				}
+				return
+			}
+			checkResults(t, src, sd, ret, rsyn)
+			if ret.Note == "" && rsyn.Note == "" {
+				t.Fatalf("panic in %s left no footnote", pass)
+			}
+		})
+	}
+}
+
+// TestBDDBlowupDegradesToSkippedDCs pins the resource-fault path: a blown
+// BDD node budget must not fail the flow but skip DC extraction with the
+// paper's footnote, carrying the observed numbers.
+func TestBDDBlowupDegradesToSkippedDCs(t *testing.T) {
+	src := bench.BuildPaperExample()
+	inj := faults.NewInjector(7).Force("reach.dc_extract", guard.FaultBDDBlowup)
+	sd, ret, rsyn, err := flows.RunAllCtx(context.Background(), src, genlib.Lib2(), flows.Config{Inject: inj})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(ret.Note, "DC extraction skipped") {
+		t.Fatalf("blowup must degrade to a skip note, got %q", ret.Note)
+	}
+	checkResults(t, src, sd, ret, rsyn)
+}
+
+// TestDeadlineFaultIsBudgetTyped pins the taxonomy: an injected deadline
+// surfaces through the rollback note and, when it fails a flow, matches
+// guard.ErrBudget.
+func TestDeadlineFaultIsBudgetTyped(t *testing.T) {
+	src := bench.BuildPaperExample()
+	inj := faults.NewInjector(5).Force("mapper.map_delay", guard.FaultDeadline)
+	_, _, _, err := flows.RunAllCtx(context.Background(), src, genlib.Lib2(), flows.Config{Inject: inj})
+	if err == nil {
+		t.Fatal("script.delay cannot survive an unmappable pass")
+	}
+	if !errors.Is(err, guard.ErrBudget) {
+		t.Fatalf("deadline fault must match guard.ErrBudget, got %v", err)
+	}
+	var rb *guard.RollbackError
+	if !errors.As(err, &rb) || rb.Pass != "mapper.map_delay" {
+		t.Fatalf("error must carry the rolled-back pass, got %v", err)
+	}
+}
+
+// TestRandomFaultSweep drives randomized injections across several seeds.
+// Every outcome must be a typed error or a fully valid, verified trio.
+func TestRandomFaultSweep(t *testing.T) {
+	kinds := []guard.Fault{guard.FaultPanic, guard.FaultCorrupt, guard.FaultDeadline, guard.FaultBDDBlowup}
+	for seed := int64(1); seed <= 8; seed++ {
+		src := bench.BuildPaperExample()
+		inj := faults.NewInjector(seed).WithRate(0.35, kinds...)
+		sd, ret, rsyn, err := flows.RunAllCtx(context.Background(), src, genlib.Lib2(), flows.Config{Inject: inj})
+		if err != nil {
+			if !typed(err) {
+				t.Fatalf("seed %d: untyped error: %v", seed, err)
+			}
+			continue
+		}
+		checkResults(t, src, sd, ret, rsyn)
+	}
+}
+
+// TestInjectionDeterminism pins replayability: the same seed must produce
+// the same decision log and the same flow outcomes.
+func TestInjectionDeterminism(t *testing.T) {
+	kinds := []guard.Fault{guard.FaultPanic, guard.FaultCorrupt, guard.FaultDeadline}
+	run := func() ([]faults.Event, []string) {
+		src := bench.BuildPaperExample()
+		inj := faults.NewInjector(11).WithRate(0.5, kinds...)
+		sd, ret, rsyn, err := flows.RunAllCtx(context.Background(), src, genlib.Lib2(), flows.Config{Inject: inj})
+		outcomes := []string{}
+		if err != nil {
+			outcomes = append(outcomes, "err: "+err.Error())
+		} else {
+			for _, r := range []*flows.Result{sd, ret, rsyn} {
+				outcomes = append(outcomes, r.Metrics.String())
+			}
+		}
+		return inj.Events(), outcomes
+	}
+	ev1, out1 := run()
+	ev2, out2 := run()
+	if !reflect.DeepEqual(ev1, ev2) {
+		t.Fatalf("event logs diverge:\n%v\n%v", ev1, ev2)
+	}
+	if !reflect.DeepEqual(out1, out2) {
+		t.Fatalf("outcomes diverge:\n%v\n%v", out1, out2)
+	}
+}
+
+// TestForceOverridesRate pins injector semantics: a forced pass ignores the
+// random rate, everything else still draws from it.
+func TestForceOverridesRate(t *testing.T) {
+	inj := faults.NewInjector(2).WithRate(1.0, guard.FaultPanic).Force("safe", guard.FaultNone)
+	if k := inj.Fault("safe"); k != guard.FaultNone {
+		t.Fatalf("forced FaultNone overridden: %v", k)
+	}
+	if k := inj.Fault("other"); k != guard.FaultPanic {
+		t.Fatalf("rate 1.0 must inject, got %v", k)
+	}
+	if len(inj.Events()) != 2 {
+		t.Fatalf("every consultation must be logged: %v", inj.Events())
+	}
+}

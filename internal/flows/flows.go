@@ -12,15 +12,25 @@
 // Every flow reports the Table I metrics (register count, clock period,
 // mapped area) and carries the verification prefix for delayed-replacement
 // equivalence checking.
+//
+// Every pass runs transactionally under internal/guard: it sees a private
+// clone of the flow network under the configured deadline, panics are
+// contained at the pass boundary, and an invalid or non-equivalent output
+// rolls the flow back to the last known-good network with a Table-I-style
+// footnote in Metrics.Note. A flow therefore either returns a valid network
+// (possibly the untouched input, with a note) or a typed guard error —
+// never a corrupted result, and never a raw panic.
 package flows
 
 import (
+	"context"
 	"errors"
 	"fmt"
 
 	"repro/internal/algebraic"
 	"repro/internal/core"
 	"repro/internal/genlib"
+	"repro/internal/guard"
 	"repro/internal/logic"
 	"repro/internal/mapper"
 	"repro/internal/network"
@@ -59,6 +69,54 @@ type Result struct {
 	PrefixK int
 }
 
+// Config configures guarded flow execution. The zero value runs unbounded,
+// untraced, and fault-free, matching the legacy T-variant behaviour.
+type Config struct {
+	// Tracer receives the flow spans plus the guard layer's commit/rollback
+	// counters and events (nil: no tracing).
+	Tracer *obs.Tracer
+	// Budget bounds each flow (Budget.Flow) and each pass within it
+	// (Budget.Pass) in wall-clock time; zero fields mean unbounded.
+	Budget guard.Budget
+	// Inject optionally injects faults per guarded pass (nil: none). It is
+	// consulted exactly once per pass invocation.
+	Inject guard.Injector
+	// SmokeCycles / SmokeSeed configure the post-pass random-simulation
+	// smoke check (see guard.TxOptions).
+	SmokeCycles int
+	SmokeSeed   int64
+}
+
+// fault consults the injector once for a pass invocation.
+func (c Config) fault(pass string) guard.Fault {
+	if c.Inject == nil {
+		return guard.FaultNone
+	}
+	return c.Inject.Fault(pass)
+}
+
+// tx builds the transactional options for one pass invocation with the
+// already-resolved fault decision.
+func (c Config) tx(f guard.Fault) guard.TxOptions {
+	return guard.TxOptions{
+		Tracer:      c.Tracer,
+		Budget:      c.Budget,
+		Inject:      guard.FixedInjector(f),
+		SmokeCycles: c.SmokeCycles,
+		SmokeSeed:   c.SmokeSeed,
+	}
+}
+
+// rollCause extracts the innermost failure of a rolled-back pass for a
+// Table-I-style note (the RollbackError wrapper itself is for errors.As).
+func rollCause(rep guard.TxReport) error {
+	var rb *guard.RollbackError
+	if errors.As(rep.Err, &rb) && rb.Cause != nil {
+		return rb.Cause
+	}
+	return rep.Err
+}
+
 func measure(n *network.Network, lib *genlib.Library) (Metrics, error) {
 	clk, err := timing.Period(n, timing.MappedDelay{N: n})
 	if err != nil {
@@ -79,20 +137,56 @@ func ScriptDelay(n *network.Network, lib *genlib.Library) (*Result, error) {
 // ScriptDelayT is ScriptDelay with tracing: a "flow.script_delay" span
 // whose children time the algebraic script and the mapper.
 func ScriptDelayT(n *network.Network, lib *genlib.Library, tr *obs.Tracer) (*Result, error) {
+	return ScriptDelayCtx(context.Background(), n, lib, Config{Tracer: tr})
+}
+
+// ScriptDelayCtx is ScriptDelayT under the guard layer: the algebraic
+// script and the mapper run transactionally under cfg.Budget. A failed
+// script degrades to plain decomposition (noted); a failed mapping is a
+// flow failure, since the flow's contract is a mapped network.
+func ScriptDelayCtx(ctx context.Context, n *network.Network, lib *genlib.Library, cfg Config) (*Result, error) {
+	tr := cfg.Tracer
 	sp := tr.Begin("flow.script_delay")
 	defer sp.End()
-	w := n.Clone()
-	if err := algebraic.OptimizeDelayT(w, tr); err != nil {
-		return nil, fmt.Errorf("flows: optimize: %w", err)
+	fctx, cancel := cfg.Budget.FlowContext(ctx)
+	defer cancel()
+	note := ""
+	w, rep := guard.Tx(fctx, "algebraic.optimize", n, cfg.tx(cfg.fault("algebraic.optimize")),
+		func(ctx context.Context, work *network.Network) (*network.Network, int, error) {
+			if err := algebraic.OptimizeDelayCtx(ctx, work, tr); err != nil {
+				return nil, 0, err
+			}
+			return work, 0, nil
+		})
+	if !rep.Committed {
+		note = rep.Note
+		// Degraded script: sweep + balanced decomposition still satisfies
+		// the mapper's subject-graph contract without the fragile passes.
+		w2, rep2 := guard.Tx(fctx, "algebraic.decompose", n, cfg.tx(cfg.fault("algebraic.decompose")),
+			func(ctx context.Context, work *network.Network) (*network.Network, int, error) {
+				work.Sweep()
+				if err := algebraic.DecomposeBalanced(work); err != nil {
+					return nil, 0, err
+				}
+				return work, 0, nil
+			})
+		if rep2.Committed {
+			w = w2
+		}
 	}
-	m, err := mapper.MapDelayT(w, lib, tr)
-	if err != nil {
-		return nil, fmt.Errorf("flows: map: %w", err)
+	m, mrep := guard.Tx(fctx, "mapper.map_delay", w, cfg.tx(cfg.fault("mapper.map_delay")),
+		func(ctx context.Context, work *network.Network) (*network.Network, int, error) {
+			mm, err := mapper.MapDelayCtx(ctx, work, lib, tr)
+			return mm, 0, err
+		})
+	if !mrep.Committed {
+		return nil, fmt.Errorf("flows: script.delay cannot map: %w", mrep.Err)
 	}
 	met, err := measure(m, lib)
 	if err != nil {
 		return nil, err
 	}
+	met.Note = note
 	return &Result{Net: m, Metrics: met}, nil
 }
 
@@ -109,33 +203,63 @@ func RetimeCombOpt(mappedIn *network.Network, lib *genlib.Library) (*Result, err
 // don't-care application (dc_nodes_simplified / lits_saved), and the
 // remap; a guard revert records flow_reverted.
 func RetimeCombOptT(mappedIn *network.Network, lib *genlib.Library, tr *obs.Tracer) (*Result, error) {
+	return RetimeCombOptCtx(context.Background(), mappedIn, lib, Config{Tracer: tr})
+}
+
+// RetimeCombOptCtx is RetimeCombOptT under the guard layer. Every pass is
+// optional for this flow: a rolled-back retiming or DC extraction keeps the
+// previous network and records the paper's footnote, and a rolled-back
+// remap degrades to the (already mapped) flow input.
+func RetimeCombOptCtx(ctx context.Context, mappedIn *network.Network, lib *genlib.Library, cfg Config) (*Result, error) {
+	tr := cfg.Tracer
 	sp := tr.Begin("flow.retime_combopt")
 	defer sp.End()
+	fctx, cancel := cfg.Budget.FlowContext(ctx)
+	defer cancel()
 	note := ""
-	ret, _, err := retime.MinPeriodT(mappedIn, retime.GateVertexDelay, tr)
-	if err != nil {
+	ret, rep := guard.Tx(fctx, "retime.min_period", mappedIn, cfg.tx(cfg.fault("retime.min_period")),
+		func(ctx context.Context, work *network.Network) (*network.Network, int, error) {
+			r, _, err := retime.MinPeriodCtx(ctx, work, retime.GateVertexDelay, tr)
+			return r, 0, err
+		})
+	if !rep.Committed {
 		// The paper: "retiming was either unable to minimize the cycle
 		// time, or was unable to preserve/compute the initial states".
-		ret = mappedIn.Clone()
-		note = "retiming failed: " + err.Error()
+		note = "retiming failed: " + rollCause(rep).Error()
 	}
 	// Combinational optimization with retiming-induced external don't
 	// cares from implicit state enumeration (bounded; skipped when the
 	// state space is out of reach, as it was for SIS on large circuits).
-	if a, rerr := reach.AnalyzeT(ret, reach.DefaultLimits, tr); rerr == nil {
-		st := tr.Begin("apply_unreachable_dcs")
-		improved, lits := applyUnreachableDCs(ret, a)
-		st.Add("dc_nodes_simplified", int64(improved))
-		if lits > 0 {
-			st.Add("lits_saved", int64(lits))
-		}
-		st.End()
+	lim := reach.DefaultLimits
+	dcFault := cfg.fault("reach.dc_extract")
+	if dcFault == guard.FaultBDDBlowup {
+		// Realized here rather than in the runner: blowup is a resource
+		// fault of the enumeration engine, triggered via its node budget.
+		lim.MaxBDDNodes = 8
+	}
+	dcNet, dcRep := guard.Tx(fctx, "reach.dc_extract", ret, cfg.tx(dcFault),
+		func(ctx context.Context, work *network.Network) (*network.Network, int, error) {
+			a, rerr := reach.AnalyzeCtx(ctx, work, lim, tr)
+			if rerr != nil {
+				return nil, 0, rerr
+			}
+			st := tr.Begin("apply_unreachable_dcs")
+			improved, lits := applyUnreachableDCs(work, a)
+			st.Add("dc_nodes_simplified", int64(improved))
+			if lits > 0 {
+				st.Add("lits_saved", int64(lits))
+			}
+			st.End()
+			return work, 0, nil
+		})
+	if dcRep.Committed {
+		ret = dcNet
 	} else if note == "" {
 		// The wrapped reach error carries the observed node/iteration
 		// numbers (or the latch count), not just "too large".
-		note = "DC extraction skipped: " + rerr.Error()
+		note = "DC extraction skipped: " + rollCause(dcRep).Error()
 	}
-	m, met, err := bestRemap(ret, lib, tr)
+	m, met, _, err := remapTx(fctx, ret, mappedIn, lib, cfg, &note)
 	if err != nil {
 		return nil, err
 	}
@@ -161,6 +285,33 @@ func guardAgainstHarm(input *network.Network, lib *genlib.Library, m *network.Ne
 		*note = "reverted (no gain over input)"
 	}
 	return input.Clone(), in
+}
+
+// remapTx runs bestRemap transactionally. On rollback the flow degrades to
+// a clone of its mapped input, which is valid by construction; committed
+// reports whether the remapped candidate was adopted.
+func remapTx(ctx context.Context, cur, mappedIn *network.Network, lib *genlib.Library, cfg Config, note *string) (m *network.Network, met Metrics, committed bool, err error) {
+	m, rep := guard.Tx(ctx, "remap", cur, cfg.tx(cfg.fault("remap")),
+		func(ctx context.Context, work *network.Network) (*network.Network, int, error) {
+			mm, mmet, rerr := bestRemap(work, lib, cfg.Tracer)
+			if rerr != nil {
+				return nil, 0, rerr
+			}
+			met = mmet
+			return mm, 0, nil
+		})
+	if rep.Committed {
+		return m, met, true, nil
+	}
+	if *note == "" {
+		*note = rep.Note
+	}
+	fallback := mappedIn.Clone()
+	fmet, ferr := measure(fallback, lib)
+	if ferr != nil {
+		return nil, Metrics{}, false, ferr
+	}
+	return fallback, fmet, false, nil
 }
 
 // bestRemap produces the best mapped implementation of a network among
@@ -259,39 +410,75 @@ func Resynthesis(mappedIn *network.Network, lib *genlib.Library) (*Result, error
 // the core Algorithm 1 passes, the guiding min-period retiming, and the
 // remap; a guard revert records flow_reverted and zeroes the prefix.
 func ResynthesisT(mappedIn *network.Network, lib *genlib.Library, tr *obs.Tracer) (*Result, error) {
+	return ResynthesisCtx(context.Background(), mappedIn, lib, Config{Tracer: tr})
+}
+
+// ResynthesisCtx is ResynthesisT under the guard layer. A rolled-back
+// Algorithm 1 keeps the input (noted), a rolled-back guide retiming keeps
+// the restructured network silently (it is opportunistic, like the
+// keep-only-if-better rule), and a rolled-back remap degrades to the
+// mapped input. The delayed-replacement prefix is zeroed whenever the
+// returned network is not the committed resynthesis result.
+func ResynthesisCtx(ctx context.Context, mappedIn *network.Network, lib *genlib.Library, cfg Config) (*Result, error) {
+	tr := cfg.Tracer
 	sp := tr.Begin("flow.resynthesis")
 	defer sp.End()
-	opt := core.Options{
-		// The same mapped delay model measure() uses: gate pin delays from
-		// the bound-gate annotations, no fanout load (LoadFactor 0). N is
-		// the flow input so both paths stay consistent (regression-tested
-		// in flows_test.go).
-		Delay:       timing.MappedDelay{N: mappedIn},
-		VertexDelay: retime.GateVertexDelay,
-		Tracer:      tr,
+	fctx, cancel := cfg.Budget.FlowContext(ctx)
+	defer cancel()
+	prefix := 0
+	declined := ""
+	w, rep := guard.Tx(fctx, "core.resynthesize", mappedIn, cfg.tx(cfg.fault("core.resynthesize")),
+		func(ctx context.Context, work *network.Network) (*network.Network, int, error) {
+			opt := core.Options{
+				// The same mapped delay model measure() uses: gate pin
+				// delays from the bound-gate annotations, no fanout load
+				// (LoadFactor 0). The clone preserves the input's bindings,
+				// so both paths stay consistent (regression-tested in
+				// flows_test.go).
+				Delay:       timing.MappedDelay{N: work},
+				VertexDelay: retime.GateVertexDelay,
+				Tracer:      tr,
+			}
+			res, err := core.ResynthesizeIterateCtx(ctx, work, opt, 3)
+			if err != nil {
+				return nil, 0, err
+			}
+			if !res.Applied {
+				declined = "not resynthesizable: " + res.Reason
+			}
+			prefix = res.PrefixK
+			return res.Network, res.PrefixK, nil
+		})
+	note := declined
+	if !rep.Committed {
+		prefix = 0
+		note = rep.Note
 	}
-	res, err := core.ResynthesizeIterate(mappedIn, opt, 3)
-	if err != nil {
-		return nil, err
-	}
-	note := ""
-	if !res.Applied {
-		note = "not resynthesizable: " + res.Reason
-	}
-	w := res.Network.Clone()
 	// "Our approach restructures the circuit and then guides retiming to
 	// achieve a cycle-time reduction": after the DCret restructuring, a
 	// conventional min-period retiming pass balances the remaining paths.
 	// It is kept only when it helps and the initial states work out.
-	if ret, info, rerr := retime.MinPeriodT(w, retime.GateVertexDelay, tr); rerr == nil &&
-		info.PeriodAfter < info.PeriodBefore {
-		w = ret
+	g, grep := guard.Tx(fctx, "retime.guide", w, cfg.tx(cfg.fault("retime.guide")),
+		func(ctx context.Context, work *network.Network) (*network.Network, int, error) {
+			ret, info, rerr := retime.MinPeriodCtx(ctx, work, retime.GateVertexDelay, tr)
+			if rerr != nil {
+				return nil, 0, rerr
+			}
+			if info.PeriodAfter < info.PeriodBefore {
+				return ret, 0, nil
+			}
+			return work, 0, nil
+		})
+	if grep.Committed {
+		w = g
 	}
-	m, met, err := bestRemap(w, lib, tr)
+	m, met, committed, err := remapTx(fctx, w, mappedIn, lib, cfg, &note)
 	if err != nil {
 		return nil, err
 	}
-	prefix := res.PrefixK
+	if !committed {
+		prefix = 0 // degraded to the untouched input
+	}
 	before := m
 	m, met = guardAgainstHarm(mappedIn, lib, m, met, &note, sp)
 	if m != before {
@@ -305,7 +492,14 @@ func ResynthesisT(mappedIn *network.Network, lib *genlib.Library, tr *obs.Tracer
 // product-machine equivalence with delayed replacement when the state
 // space permits, long random simulation otherwise.
 func Verify(src *network.Network, r *Result) error {
-	err := seqverify.Equivalent(src, r.Net, seqverify.Options{Delay: r.PrefixK})
+	return VerifyCtx(context.Background(), src, r)
+}
+
+// VerifyCtx is Verify with cancellation threaded into the product-machine
+// traversal; a budget exhausted mid-proof surfaces as a typed guard error,
+// not as a verification failure.
+func VerifyCtx(ctx context.Context, src *network.Network, r *Result) error {
+	err := seqverify.EquivalentCtx(ctx, src, r.Net, seqverify.Options{Delay: r.PrefixK})
 	if err == nil {
 		return nil
 	}
@@ -323,16 +517,36 @@ func RunAll(src *network.Network, lib *genlib.Library) (sd, ret, rsyn *Result, e
 // RunAllT is RunAll with tracing: each flow contributes its own top-level
 // span (flow.script_delay, flow.retime_combopt, flow.resynthesis) to tr.
 func RunAllT(src *network.Network, lib *genlib.Library, tr *obs.Tracer) (sd, ret, rsyn *Result, err error) {
-	sd, err = ScriptDelayT(src, lib, tr)
-	if err != nil {
+	return RunAllCtx(context.Background(), src, lib, Config{Tracer: tr})
+}
+
+// RunAllCtx is RunAllT under the guard layer. Each flow additionally runs
+// under flow-level panic containment (belt and braces over the per-pass
+// runner), so a defect anywhere in a flow surfaces as a typed error on
+// that flow instead of killing the process.
+func RunAllCtx(ctx context.Context, src *network.Network, lib *genlib.Library, cfg Config) (sd, ret, rsyn *Result, err error) {
+	run := func(name string, f func(ctx context.Context) error) error {
+		return guard.Run(ctx, name, src, f)
+	}
+	if err = run("flow.script_delay", func(ctx context.Context) error {
+		var ferr error
+		sd, ferr = ScriptDelayCtx(ctx, src, lib, cfg)
+		return ferr
+	}); err != nil {
 		return nil, nil, nil, err
 	}
-	ret, err = RetimeCombOptT(sd.Net, lib, tr)
-	if err != nil {
+	if err = run("flow.retime_combopt", func(ctx context.Context) error {
+		var ferr error
+		ret, ferr = RetimeCombOptCtx(ctx, sd.Net, lib, cfg)
+		return ferr
+	}); err != nil {
 		return nil, nil, nil, err
 	}
-	rsyn, err = ResynthesisT(sd.Net, lib, tr)
-	if err != nil {
+	if err = run("flow.resynthesis", func(ctx context.Context) error {
+		var ferr error
+		rsyn, ferr = ResynthesisCtx(ctx, sd.Net, lib, cfg)
+		return ferr
+	}); err != nil {
 		return nil, nil, nil, err
 	}
 	return sd, ret, rsyn, nil

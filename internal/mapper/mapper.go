@@ -7,10 +7,12 @@
 package mapper
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
 	"repro/internal/genlib"
+	"repro/internal/guard"
 	"repro/internal/logic"
 	"repro/internal/network"
 	"repro/internal/obs"
@@ -125,16 +127,23 @@ func MapDelay(n *network.Network, lib *genlib.Library) (*network.Network, error)
 // MapDelayT is MapDelay with tracing: a "mapper.map_delay" span counting
 // the cuts enumerated and the (cut, gate) candidates tried by the DP.
 func MapDelayT(n *network.Network, lib *genlib.Library, tr *obs.Tracer) (*network.Network, error) {
+	return MapDelayCtx(context.Background(), n, lib, tr)
+}
+
+// MapDelayCtx is MapDelayT with cancellation: the per-node cut-enumeration
+// DP checks ctx at every node and returns a typed guard budget error once
+// the deadline passes.
+func MapDelayCtx(ctx context.Context, n *network.Network, lib *genlib.Library, tr *obs.Tracer) (*network.Network, error) {
 	sp := tr.Begin("mapper.map_delay")
 	defer sp.End()
 	cutsEnumerated, candidatesTried := 0, 0
-	m, err := mapDelay(n, lib, &cutsEnumerated, &candidatesTried)
+	m, err := mapDelay(ctx, n, lib, &cutsEnumerated, &candidatesTried)
 	sp.Add("mapper_cuts", int64(cutsEnumerated))
 	sp.Add("mapper_candidates", int64(candidatesTried))
 	return m, err
 }
 
-func mapDelay(n *network.Network, lib *genlib.Library, cutsEnumerated, candidatesTried *int) (*network.Network, error) {
+func mapDelay(ctx context.Context, n *network.Network, lib *genlib.Library, cutsEnumerated, candidatesTried *int) (*network.Network, error) {
 	order, err := n.TopoOrder()
 	if err != nil {
 		return nil, err
@@ -156,6 +165,9 @@ func mapDelay(n *network.Network, lib *genlib.Library, cutsEnumerated, candidate
 	}
 
 	for _, v := range order {
+		if cerr := guard.Check(ctx, "mapper.map_delay"); cerr != nil {
+			return nil, fmt.Errorf("mapper: cut enumeration interrupted: %w", cerr)
+		}
 		// Constant nodes map directly to tie cells.
 		if len(v.Fanins) == 0 {
 			tt := uint16(0)

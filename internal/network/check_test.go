@@ -1,0 +1,147 @@
+package network
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/logic"
+)
+
+// victim builds a small valid sequential circuit to corrupt:
+//
+//	g = a AND q, y = g, latch q <- g.
+func victim(t *testing.T) (*Network, *Node) {
+	t.Helper()
+	n := New("victim")
+	a := n.AddPI("a")
+	q := n.AddLatch("q", a, V0)
+	g := n.AddLogic("g", []*Node{a, q.Output}, logic.MustParseCover(2, "11"))
+	q.Driver = g
+	n.AddPO("y", g)
+	if err := n.Check(); err != nil {
+		t.Fatalf("victim must start valid: %v", err)
+	}
+	return n, g
+}
+
+// TestCheckCatchesCorruption walks every corruption class the guard layer's
+// transactional validation relies on: each must be reported by Check with a
+// message naming the broken invariant.
+func TestCheckCatchesCorruption(t *testing.T) {
+	cases := []struct {
+		name    string
+		corrupt func(n *Network, g *Node)
+		want    string // substring of the expected Check error
+	}{
+		{
+			"arity mismatch (cover vars vs fanins)",
+			func(n *Network, g *Node) { g.Func = logic.MustParseCover(1, "1") },
+			"cover vars",
+		},
+		{
+			// The FaultCorrupt realization in the guard runner: a truncated
+			// fanin list surfaces as broken fanin/fanout symmetry.
+			"truncated fanins",
+			func(n *Network, g *Node) { g.Fanins = g.Fanins[:1] },
+			"does not list it as fanin",
+		},
+		{
+			"dangling fanin (removed node)",
+			func(n *Network, g *Node) {
+				ghost := &Node{ID: 999, Name: "ghost", Kind: KindPI}
+				g.Fanins[0].fanouts = nil // silence the symmetry check
+				g.Fanins[0] = ghost
+			},
+			"removed fanin",
+		},
+		{
+			"duplicate fanin",
+			func(n *Network, g *Node) {
+				g.Fanins[1].fanouts = nil // silence the symmetry check
+				g.Fanins[1] = g.Fanins[0]
+			},
+			"duplicate fanin",
+		},
+		{
+			"fanout asymmetry (consumer missing from fanout list)",
+			func(n *Network, g *Node) { g.Fanins[0].fanouts = nil },
+			"misses consumer",
+		},
+		{
+			"broken name table (renamed node)",
+			func(n *Network, g *Node) { g.Name = "renamed" },
+			"name table",
+		},
+		{
+			"name table references removed node",
+			func(n *Network, g *Node) {
+				stray := &Node{ID: 998, Name: "stray", Kind: KindPI}
+				n.byName["stray"] = stray
+			},
+			"removed node",
+		},
+		{
+			"logic node without function",
+			func(n *Network, g *Node) { g.Func = nil },
+			"no function",
+		},
+		{
+			"source with function",
+			func(n *Network, g *Node) {
+				n.PIs[0].Func = logic.MustParseCover(0, "")
+			},
+			"has fanins or function",
+		},
+		{
+			"latch driver removed",
+			func(n *Network, g *Node) {
+				n.Latches[0].Driver = &Node{ID: 997, Name: "gone", Kind: KindLogic}
+			},
+			"driver removed",
+		},
+		{
+			"PO driver removed",
+			func(n *Network, g *Node) {
+				n.POs[0].Driver = &Node{ID: 996, Name: "gone", Kind: KindLogic}
+			},
+			"driver removed",
+		},
+		{
+			"combinational cycle",
+			func(n *Network, g *Node) {
+				g.Fanins[0].fanouts = nil // silence the symmetry check
+				g.Fanins[0] = g
+				g.fanouts = append(g.fanouts, g)
+			},
+			"combinational cycle",
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			n, g := victim(t)
+			tc.corrupt(n, g)
+			err := n.Check()
+			if err == nil {
+				t.Fatalf("corruption %q not detected", tc.name)
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("corruption %q reported as %v, want mention of %q", tc.name, err, tc.want)
+			}
+		})
+	}
+}
+
+// TestCheckPassesOnCloneOfCorrupted pins the guard rollback guarantee: a
+// corrupted clone never taints the original it was cloned from.
+func TestCheckPassesOnCloneOfCorrupted(t *testing.T) {
+	n, _ := victim(t)
+	c := n.Clone()
+	g := c.FindNode("g")
+	g.Fanins = g.Fanins[:1]
+	if err := c.Check(); err == nil {
+		t.Fatal("corrupted clone must fail Check")
+	}
+	if err := n.Check(); err != nil {
+		t.Fatalf("original tainted by clone corruption: %v", err)
+	}
+}

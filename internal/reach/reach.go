@@ -9,9 +9,11 @@
 package reach
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/bdd"
+	"repro/internal/guard"
 	"repro/internal/logic"
 	"repro/internal/network"
 	"repro/internal/obs"
@@ -67,7 +69,15 @@ func Analyze(n *network.Network, lim Limits) (*Analysis, error) {
 // AnalyzeT is Analyze with tracing: one "reach.analyze" span carrying the
 // iteration count, frontier peak, and BDD table counters, plus one
 // "reach_iter" event per image step on the JSON sink.
-func AnalyzeT(n *network.Network, lim Limits, tr *obs.Tracer) (a *Analysis, err error) {
+func AnalyzeT(n *network.Network, lim Limits, tr *obs.Tracer) (*Analysis, error) {
+	return AnalyzeCtx(context.Background(), n, lim, tr)
+}
+
+// AnalyzeCtx is AnalyzeT with cancellation: the node-function construction
+// and every image step of the fixpoint iteration check ctx, returning a
+// typed guard budget error (errors.Is(err, guard.ErrBudget)) wrapping the
+// cause when the deadline passes or the context is cancelled.
+func AnalyzeCtx(ctx context.Context, n *network.Network, lim Limits, tr *obs.Tracer) (a *Analysis, err error) {
 	L := len(n.Latches)
 	if lim.MaxLatches > 0 && L > lim.MaxLatches {
 		return nil, fmt.Errorf("reach: %d latches exceed the %d-latch limit: %w",
@@ -110,7 +120,7 @@ func AnalyzeT(n *network.Network, lim Limits, tr *obs.Tracer) (a *Analysis, err 
 	for j := range n.PIs {
 		a.InVar[j] = 2*L + j
 	}
-	if err := a.buildNodeFns(); err != nil {
+	if err := a.buildNodeFns(ctx); err != nil {
 		return nil, err
 	}
 
@@ -154,6 +164,9 @@ func AnalyzeT(n *network.Network, lim Limits, tr *obs.Tracer) (a *Analysis, err 
 	reached := init
 	frontier := init
 	for ; ; depth++ {
+		if cerr := guard.Check(ctx, "reach.analyze"); cerr != nil {
+			return nil, fmt.Errorf("reach: fixpoint interrupted after %d image steps: %w", depth, cerr)
+		}
 		if fn := m.NodeCount(frontier); fn > a.FrontierPeakNodes {
 			a.FrontierPeakNodes = fn
 		}
@@ -179,7 +192,7 @@ func AnalyzeT(n *network.Network, lim Limits, tr *obs.Tracer) (a *Analysis, err 
 }
 
 // buildNodeFns computes every node's BDD over current-state and input vars.
-func (a *Analysis) buildNodeFns() error {
+func (a *Analysis) buildNodeFns(ctx context.Context) error {
 	m := a.M
 	for j, p := range a.N.PIs {
 		a.NodeFn[p] = m.Var(a.InVar[j])
@@ -192,6 +205,9 @@ func (a *Analysis) buildNodeFns() error {
 		return err
 	}
 	for _, v := range order {
+		if cerr := guard.Check(ctx, "reach.analyze"); cerr != nil {
+			return fmt.Errorf("reach: node-function construction interrupted: %w", cerr)
+		}
 		f := bdd.False
 		for _, c := range v.Func.Cubes {
 			cube := bdd.True

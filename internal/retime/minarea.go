@@ -1,9 +1,11 @@
 package retime
 
 import (
+	"context"
 	"fmt"
 	"math"
 
+	"repro/internal/guard"
 	"repro/internal/network"
 	"repro/internal/obs"
 )
@@ -181,9 +183,16 @@ func MinAreaUnderPeriod(n *network.Network, d VertexDelay, c float64) (*network.
 // MinAreaUnderPeriodT is MinAreaUnderPeriod with tracing: a
 // "retime.min_area" span carrying applied/reverted move counters.
 func MinAreaUnderPeriodT(n *network.Network, d VertexDelay, c float64, tr *obs.Tracer) (*network.Network, Info, error) {
+	return MinAreaUnderPeriodCtx(context.Background(), n, d, c, tr)
+}
+
+// MinAreaUnderPeriodCtx is MinAreaUnderPeriodT with cancellation: the exact
+// lag realization and the greedy peephole sweep check ctx and return a
+// typed guard budget error once the deadline passes.
+func MinAreaUnderPeriodCtx(ctx context.Context, n *network.Network, d VertexDelay, c float64, tr *obs.Tracer) (*network.Network, Info, error) {
 	sp := tr.Begin("retime.min_area")
 	defer sp.End()
-	net, info, err := minAreaUnderPeriod(n, d, c)
+	net, info, err := minAreaUnderPeriod(ctx, n, d, c)
 	info.record(sp)
 	if err != nil {
 		sp.Add("retime_failed", 1)
@@ -191,7 +200,7 @@ func MinAreaUnderPeriodT(n *network.Network, d VertexDelay, c float64, tr *obs.T
 	return net, info, err
 }
 
-func minAreaUnderPeriod(n *network.Network, d VertexDelay, c float64) (*network.Network, Info, error) {
+func minAreaUnderPeriod(ctx context.Context, n *network.Network, d VertexDelay, c float64) (*network.Network, Info, error) {
 	var info Info
 	work := n.Clone()
 	g, err := BuildGraph(work, d)
@@ -212,7 +221,7 @@ func minAreaUnderPeriod(n *network.Network, d VertexDelay, c float64) (*network.
 			attempt := work.Clone()
 			ag, aerr := BuildGraph(attempt, d)
 			if aerr == nil {
-				if fwd, bwd, aerr := Apply(attempt, ag, r); aerr == nil {
+				if fwd, bwd, aerr := ApplyCtx(ctx, attempt, ag, r); aerr == nil {
 					MergeSiblingRegisters(attempt)
 					// The LP minimizes per-edge register counts (no
 					// fanout sharing in the basic Leiserson–Saxe model);
@@ -232,7 +241,9 @@ func minAreaUnderPeriod(n *network.Network, d VertexDelay, c float64) (*network.
 	// Greedy fallback is quadratic in the worst case (tentative clones);
 	// very large circuits rely on sibling merging alone.
 	if !exactOK && work.NumLogicNodes() <= 1200 {
-		greedyMinArea(work, d, c, &info)
+		if gerr := greedyMinArea(ctx, work, d, c, &info); gerr != nil {
+			return nil, info, gerr
+		}
 	}
 	MergeSiblingRegisters(work)
 	RemoveConstantRegisters(work)
@@ -253,12 +264,17 @@ func periodOf(n *network.Network, d VertexDelay) (float64, error) {
 }
 
 // greedyMinArea performs tentative atomic moves that reduce the register
-// count, keeping each only if the clock period stays within c.
-func greedyMinArea(n *network.Network, d VertexDelay, c float64, info *Info) {
+// count, keeping each only if the clock period stays within c. On budget
+// exhaustion it stops and reports the typed error (moves already committed
+// are behaviour-preserving, but the caller treats the pass as failed).
+func greedyMinArea(ctx context.Context, n *network.Network, d VertexDelay, c float64, info *Info) error {
 	const eps = 1e-9
 	for pass := 0; pass < 8; pass++ {
 		improved := false
 		for _, v := range append([]*network.Node(nil), n.Nodes()...) {
+			if cerr := guard.Check(ctx, "retime.min_area"); cerr != nil {
+				return fmt.Errorf("retime: greedy min-area interrupted: %w", cerr)
+			}
 			if v.Kind != network.KindLogic {
 				continue
 			}
@@ -311,9 +327,10 @@ func greedyMinArea(n *network.Network, d VertexDelay, c float64, info *Info) {
 			}
 		}
 		if !improved {
-			return
+			return nil
 		}
 	}
+	return nil
 }
 
 // restore copies the snapshot's contents back into n (n's identity is

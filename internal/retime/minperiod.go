@@ -1,8 +1,10 @@
 package retime
 
 import (
+	"context"
 	"fmt"
 
+	"repro/internal/guard"
 	"repro/internal/network"
 	"repro/internal/obs"
 )
@@ -121,16 +123,26 @@ func (g *Graph) FEAS(c float64) (r []int, ok bool) {
 // so on large graphs the result is a sound upper bound rather than the
 // true optimum — an authentic limitation of increment-only retimers.
 func (g *Graph) MinPeriodLags() ([]int, float64, error) {
+	return g.MinPeriodLagsCtx(context.Background())
+}
+
+// MinPeriodLagsCtx is MinPeriodLags with cancellation: the FEAS binary
+// search checks ctx at every probe and returns a typed guard budget error
+// once the deadline passes.
+func (g *Graph) MinPeriodLagsCtx(ctx context.Context) ([]int, float64, error) {
 	if len(g.Nodes)+1 <= MaxExactMinAreaVertices {
+		if cerr := guard.Check(ctx, "retime.min_period"); cerr != nil {
+			return nil, 0, cerr
+		}
 		if r, c, err := g.MinPeriodLagsOPT(); err == nil {
 			return r, c, nil
 		}
 	}
-	return g.minPeriodLagsFEAS()
+	return g.minPeriodLagsFEAS(ctx)
 }
 
 // minPeriodLagsFEAS is the heuristic binary search over FEAS.
-func (g *Graph) minPeriodLagsFEAS() ([]int, float64, error) {
+func (g *Graph) minPeriodLagsFEAS(ctx context.Context) ([]int, float64, error) {
 	cur, err := g.Period(nil)
 	if err != nil {
 		return nil, 0, err
@@ -155,6 +167,9 @@ func (g *Graph) minPeriodLagsFEAS() ([]int, float64, error) {
 		return bestR, bestC, nil
 	}
 	for i := 0; i < 48 && hi-lo > 1e-6; i++ {
+		if cerr := guard.Check(ctx, "retime.min_period"); cerr != nil {
+			return nil, 0, fmt.Errorf("retime: binary search interrupted at [%g, %g]: %w", lo, hi, cerr)
+		}
 		mid := (lo + hi) / 2
 		if r, ok := g.FEAS(mid); ok {
 			// Tighten to the actual achieved period for exactness.
@@ -177,9 +192,17 @@ func (g *Graph) minPeriodLagsFEAS() ([]int, float64, error) {
 // the network is left in a valid, behaviour-preserving but partially
 // retimed form and an error is returned.
 func Apply(n *network.Network, g *Graph, r []int) (fwd, bwd int, err error) {
+	return ApplyCtx(context.Background(), n, g, r)
+}
+
+// ApplyCtx is Apply with cancellation, checked once per move sweep.
+func ApplyCtx(ctx context.Context, n *network.Network, g *Graph, r []int) (fwd, bwd int, err error) {
 	lag := make([]int, len(r))
 	copy(lag, r)
 	for {
+		if cerr := guard.Check(ctx, "retime.apply"); cerr != nil {
+			return fwd, bwd, fmt.Errorf("retime: lag realization interrupted after %d moves: %w", fwd+bwd, cerr)
+		}
 		done := true
 		progress := false
 		for i, v := range g.Nodes {
@@ -224,9 +247,16 @@ func MinPeriod(n *network.Network, d VertexDelay) (*network.Network, Info, error
 // MinPeriodT is MinPeriod with tracing: a "retime.min_period" span carrying
 // applied-move counters, and a "retime_failed" counter on error.
 func MinPeriodT(n *network.Network, d VertexDelay, tr *obs.Tracer) (*network.Network, Info, error) {
+	return MinPeriodCtx(context.Background(), n, d, tr)
+}
+
+// MinPeriodCtx is MinPeriodT with cancellation: the lag search and the move
+// realization check ctx and return a typed guard budget error once the
+// deadline passes.
+func MinPeriodCtx(ctx context.Context, n *network.Network, d VertexDelay, tr *obs.Tracer) (*network.Network, Info, error) {
 	sp := tr.Begin("retime.min_period")
 	defer sp.End()
-	net, info, err := minPeriod(n, d)
+	net, info, err := minPeriod(ctx, n, d)
 	info.record(sp)
 	if err != nil {
 		sp.Add("retime_failed", 1)
@@ -239,7 +269,7 @@ func MinPeriodT(n *network.Network, d VertexDelay, tr *obs.Tracer) (*network.Net
 	return net, info, err
 }
 
-func minPeriod(n *network.Network, d VertexDelay) (*network.Network, Info, error) {
+func minPeriod(ctx context.Context, n *network.Network, d VertexDelay) (*network.Network, Info, error) {
 	var info Info
 	work := n.Clone()
 	g, err := BuildGraph(work, d)
@@ -251,12 +281,12 @@ func minPeriod(n *network.Network, d VertexDelay) (*network.Network, Info, error
 	if err != nil {
 		return nil, info, err
 	}
-	r, c, err := g.MinPeriodLags()
+	r, c, err := g.MinPeriodLagsCtx(ctx)
 	if err != nil {
 		return nil, info, err
 	}
 	info.PeriodAfter = c
-	fwd, bwd, err := Apply(work, g, r)
+	fwd, bwd, err := ApplyCtx(ctx, work, g, r)
 	info.ForwardMoves, info.BackwardMoves = fwd, bwd
 	if err != nil {
 		return nil, info, err

@@ -1,6 +1,7 @@
 package retime
 
 import (
+	"context"
 	"math"
 	"testing"
 
@@ -64,7 +65,7 @@ func TestOPTvsFEASOnRandomCircuits(t *testing.T) {
 		if err != nil {
 			t.Fatalf("seed %d: %v", seed, err)
 		}
-		rFeas, cFeas, err := g.minPeriodLagsFEAS()
+		rFeas, cFeas, err := g.minPeriodLagsFEAS(context.Background())
 		if err != nil {
 			t.Fatalf("seed %d: FEAS: %v", seed, err)
 		}

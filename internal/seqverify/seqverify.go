@@ -7,9 +7,11 @@
 package seqverify
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/bdd"
+	"repro/internal/guard"
 	"repro/internal/logic"
 	"repro/internal/network"
 	"repro/internal/reach"
@@ -36,7 +38,14 @@ type machine struct {
 // Equivalent returns nil if the two networks are sequentially equivalent
 // under the configured delayed-replacement prefix. POs and PIs are matched
 // by name. A non-nil error describes the mismatch or a resource failure.
-func Equivalent(a, b *network.Network, opt Options) (err error) {
+func Equivalent(a, b *network.Network, opt Options) error {
+	return EquivalentCtx(context.Background(), a, b, opt)
+}
+
+// EquivalentCtx is Equivalent with cancellation: every image step of the
+// product-machine traversal checks ctx and returns a typed guard budget
+// error (errors.Is(err, guard.ErrBudget)) once the deadline passes.
+func EquivalentCtx(ctx context.Context, a, b *network.Network, opt Options) (err error) {
 	lim := opt.Limits
 	if lim.MaxLatches == 0 {
 		lim.MaxLatches = reach.DefaultLimits.MaxLatches
@@ -111,8 +120,12 @@ func Equivalent(a, b *network.Network, opt Options) (err error) {
 		inVarA[i] = i
 		inVarB[piOfB[i]] = i
 	}
-	buildFns(m, ma, inVarA)
-	buildFns(m, mb, inVarB)
+	if err := buildFns(m, ma, inVarA); err != nil {
+		return fmt.Errorf("seqverify: %s: %w", a.Name, err)
+	}
+	if err := buildFns(m, mb, inVarB); err != nil {
+		return fmt.Errorf("seqverify: %s: %w", b.Name, err)
+	}
 
 	initSet := func(mc *machine) bdd.Ref {
 		s := bdd.True
@@ -162,11 +175,17 @@ func Equivalent(a, b *network.Network, opt Options) (err error) {
 
 	// Advance the frontier through the delayed-replacement prefix.
 	for k := 0; k < opt.Delay; k++ {
+		if cerr := guard.Check(ctx, "seqverify.equivalent"); cerr != nil {
+			return fmt.Errorf("seqverify: prefix traversal interrupted at cycle %d: %w", k, cerr)
+		}
 		front = image(front)
 	}
 	// Closure from the post-prefix frontier.
 	reached := front
 	for {
+		if cerr := guard.Check(ctx, "seqverify.equivalent"); cerr != nil {
+			return fmt.Errorf("seqverify: reachability closure interrupted: %w", cerr)
+		}
 		img := image(front)
 		fresh := m.And(img, m.Not(reached))
 		if fresh == bdd.False {
@@ -189,7 +208,10 @@ func Equivalent(a, b *network.Network, opt Options) (err error) {
 	return nil
 }
 
-func buildFns(m *bdd.Manager, mc *machine, inVar []int) {
+// buildFns computes every node's BDD. A malformed network (e.g. a
+// combinational cycle handed in by a buggy caller) is reported as an error
+// rather than a panic, so verification can never crash the process.
+func buildFns(m *bdd.Manager, mc *machine, inVar []int) error {
 	mc.nodeFn = make(map[*network.Node]bdd.Ref)
 	for i, p := range mc.n.PIs {
 		mc.nodeFn[p] = m.Var(inVar[i])
@@ -199,7 +221,7 @@ func buildFns(m *bdd.Manager, mc *machine, inVar []int) {
 	}
 	order, err := mc.n.TopoOrder()
 	if err != nil {
-		panic(err) // caller validated the network
+		return fmt.Errorf("invalid network: %w", err)
 	}
 	for _, v := range order {
 		f := bdd.False
@@ -220,6 +242,7 @@ func buildFns(m *bdd.Manager, mc *machine, inVar []int) {
 		}
 		mc.nodeFn[v] = f
 	}
+	return nil
 }
 
 func witnessString(w []logic.Lit, ni, la, lb int) string {
