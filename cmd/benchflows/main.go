@@ -5,10 +5,14 @@
 // the tracer's JSON-lines event stream (via obs.ReadEvents), so this
 // command doubles as an end-to-end consumer of the -stats-json format.
 //
+// Circuits run concurrently (-workers); each traces into a private tracer
+// and reports are assembled in suite order, so the JSON document is
+// independent of worker count (up to wall-clock fields).
+//
 // Usage:
 //
 //	benchflows [-out BENCH_flows.json] [-circuits ex2,bbtas,...] [-skip-large]
-//	           [-timeout 60s] [-pass-timeout 10s]
+//	           [-workers N] [-timeout 60s] [-pass-timeout 10s]
 package main
 
 import (
@@ -26,6 +30,7 @@ import (
 	"repro/internal/genlib"
 	"repro/internal/guard"
 	"repro/internal/obs"
+	"repro/internal/parexec"
 )
 
 type flowMetrics struct {
@@ -57,6 +62,7 @@ func main() {
 	out := flag.String("out", "BENCH_flows.json", "output JSON file")
 	circuitsFlag := flag.String("circuits", "", "comma-separated circuit names (default: all of Table I)")
 	skipLarge := flag.Bool("skip-large", false, "skip circuits with more than 1000 gates")
+	workers := flag.Int("workers", 0, "parallel circuit evaluations (<=0 = GOMAXPROCS)")
 	timeout := flag.Duration("timeout", 0, "wall-clock budget per flow; a circuit exceeding it reports a typed error instead of hanging the sweep (0 = unbounded)")
 	passTimeout := flag.Duration("pass-timeout", 0, "wall-clock budget per pass within a flow (0 = unbounded)")
 	flag.Parse()
@@ -78,8 +84,15 @@ func main() {
 	lib := genlib.Lib2()
 	budget := guard.Budget{Flow: *timeout, Pass: *passTimeout}
 	rep := benchReport{Schema: "bench_flows/v1"}
-	for _, c := range suite {
-		cr := runCircuit(c, lib, budget, *skipLarge)
+	reports, err := parexec.Map(context.Background(), *workers, suite,
+		func(_ context.Context, _ int, c bench.Circuit) (circuitReport, error) {
+			return runCircuit(c, lib, budget, *skipLarge), nil
+		})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchflows:", err)
+		os.Exit(1)
+	}
+	for i, cr := range reports {
 		rep.Circuits = append(rep.Circuits, cr)
 		status := "ok"
 		switch {
@@ -88,7 +101,7 @@ func main() {
 		case cr.Error != "":
 			status = "FAILED: " + cr.Error
 		}
-		fmt.Printf("%-10s %8.0fms  %s\n", c.Name, cr.WallMS, status)
+		fmt.Printf("%-10s %8.0fms  %s\n", suite[i].Name, cr.WallMS, status)
 	}
 
 	f, err := os.Create(*out)

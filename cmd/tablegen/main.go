@@ -4,10 +4,15 @@
 // register count, clock period and mapped area of each, verifying every
 // flow output against the source circuit.
 //
+// Circuits are evaluated in parallel (-workers); the table is byte-
+// identical for any worker count. Per-row wall times are opt-in (-times)
+// because they are the one non-deterministic ingredient.
+//
 // Usage:
 //
-//	tablegen [-circuits ex2,bbtas,...] [-verify] [-skip-large] [-timeout 60s]
-//	         [-pass-timeout 10s] [-trace] [-stats-json events.jsonl]
+//	tablegen [-circuits ex2,bbtas,...] [-verify] [-skip-large] [-workers N]
+//	         [-times] [-timeout 60s] [-pass-timeout 10s] [-trace]
+//	         [-stats-json events.jsonl]
 package main
 
 import (
@@ -16,123 +21,54 @@ import (
 	"fmt"
 	"os"
 	"strings"
-	"time"
 
-	"repro/internal/bench"
-	"repro/internal/flows"
-	"repro/internal/genlib"
 	"repro/internal/guard"
 	"repro/internal/obs"
+	"repro/internal/table"
 )
 
 func main() {
 	circuitsFlag := flag.String("circuits", "", "comma-separated circuit names (default: all of Table I)")
 	verify := flag.Bool("verify", true, "verify every flow output against the source circuit")
 	skipLarge := flag.Bool("skip-large", false, "skip circuits with more than 1000 gates")
+	workers := flag.Int("workers", 0, "parallel circuit evaluations (<=0 = GOMAXPROCS)")
+	times := flag.Bool("times", false, "append per-circuit wall time to each row (breaks byte-stable output)")
 	trace := flag.Bool("trace", false, "print the per-circuit span tree with wall time and counters")
 	statsJSON := flag.String("stats-json", "", "write the JSON-lines trace event stream to this file")
 	timeout := flag.Duration("timeout", 0, "wall-clock budget per flow; a circuit exceeding it reports a typed error instead of stalling the table (0 = unbounded)")
 	passTimeout := flag.Duration("pass-timeout", 0, "wall-clock budget per pass within a flow (0 = unbounded)")
 	flag.Parse()
 
-	var tr *obs.Tracer
-	if *trace || *statsJSON != "" {
-		tr = obs.New()
-		if *statsJSON != "" {
-			jf, err := os.Create(*statsJSON)
-			if err != nil {
-				fmt.Fprintln(os.Stderr, "tablegen:", err)
-				os.Exit(1)
-			}
-			defer jf.Close()
-			tr.SetJSON(jf)
-		}
+	opt := table.Options{
+		Verify:    *verify,
+		SkipLarge: *skipLarge,
+		Workers:   *workers,
+		ShowTimes: *times,
+		Budget:    guard.Budget{Flow: *timeout, Pass: *passTimeout},
 	}
-
-	suite := bench.TableI()
 	if *circuitsFlag != "" {
-		var filtered []bench.Circuit
-		for _, name := range strings.Split(*circuitsFlag, ",") {
-			c, ok := bench.ByName(strings.TrimSpace(name))
-			if !ok {
-				fmt.Fprintf(os.Stderr, "unknown circuit %q\n", name)
-				os.Exit(1)
-			}
-			filtered = append(filtered, c)
+		opt.Circuits = strings.Split(*circuitsFlag, ",")
+	}
+	if *trace {
+		opt.Tracer = obs.New()
+	}
+	if *statsJSON != "" {
+		jf, err := os.Create(*statsJSON)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "tablegen:", err)
+			os.Exit(1)
 		}
-		suite = filtered
+		defer jf.Close()
+		opt.JSON = jf
 	}
 
-	lib := genlib.Lib2()
-	fmt.Println("TABLE I — Experimental results: applying the resynthesis algorithm")
-	fmt.Println("(substrate differs from the paper's SIS/lib2 testbed; compare shapes, not absolutes)")
-	fmt.Println()
-	fmt.Printf("%-8s | %-22s | %-30s | %-30s\n", "", "script.delay", "+ retiming + comb.opt", "+ resynthesis")
-	fmt.Printf("%-8s | %5s %7s %7s | %5s %7s %7s %-8s | %5s %7s %7s %-8s\n",
-		"Circuit", "Reg", "Clk", "Area", "Reg", "Clk", "Area", "note", "Reg", "Clk", "Area", "note")
-	fmt.Println(strings.Repeat("-", 118))
-
-	wins, applicable := 0, 0
-	for _, c := range suite {
-		src, err := c.Build()
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "%s: build failed: %v\n", c.Name, err)
-			continue
-		}
-		if *skipLarge && src.NumLogicNodes() > 1000 {
-			fmt.Printf("%-8s | skipped (large)\n", c.Name)
-			continue
-		}
-		start := time.Now()
-		csp := tr.Begin(c.Name)
-		sd, ret, rsyn, err := flows.RunAllCtx(context.Background(), src, lib, flows.Config{
-			Tracer: tr,
-			Budget: guard.Budget{Flow: *timeout, Pass: *passTimeout},
-		})
-		csp.End()
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "%s: flow failed: %v\n", c.Name, err)
-			continue
-		}
-		if *verify {
-			for i, r := range []*flows.Result{sd, ret, rsyn} {
-				if err := flows.Verify(src, r); err != nil {
-					fmt.Fprintf(os.Stderr, "%s: flow %d FAILED VERIFICATION: %v\n", c.Name, i, err)
-					os.Exit(1)
-				}
-			}
-		}
-		fmt.Printf("%-8s | %5d %7.2f %7.0f | %5d %7.2f %7.0f %-8s | %5d %7.2f %7.0f %-8s  [%s]\n",
-			c.Name,
-			sd.Regs, sd.Clk, sd.Area,
-			ret.Regs, ret.Clk, ret.Area, short(ret.Note),
-			rsyn.Regs, rsyn.Clk, rsyn.Area, short(rsyn.Note),
-			time.Since(start).Round(time.Millisecond))
-		if rsyn.Note == "" {
-			applicable++
-			if rsyn.Clk <= ret.Clk {
-				wins++
-			}
-		}
-	}
-	fmt.Println(strings.Repeat("-", 118))
-	fmt.Printf("resynthesis ≤ retiming clock on %d/%d applicable circuits (all outputs verified: %v)\n",
-		wins, applicable, *verify)
+	_, err := table.Run(context.Background(), os.Stdout, os.Stderr, opt)
 	if *trace {
 		fmt.Println()
-		tr.WriteTree(os.Stdout)
+		opt.Tracer.WriteTree(os.Stdout)
 	}
-}
-
-func short(s string) string {
-	if s == "" {
-		return ""
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "tablegen:", err)
+		os.Exit(1)
 	}
-	if i := strings.Index(s, ":"); i > 0 {
-		s = s[:i]
-	}
-	if len(s) > 8 {
-		s = s[:8]
-	}
-	return s
 }

@@ -4,6 +4,14 @@
 // equivalence checking (internal/seqverify) — the machinery the paper's
 // baseline flow uses to extract unreachable-state don't cares, and that the
 // paper pointedly avoids needing for its own DCret computation.
+//
+// Following the classic efficient-implementation literature (Brace/Rudell/
+// Bryant's ITE package, Somenzi's CUDD), the tables are engineered rather
+// than delegated to Go maps: the unique table is open-addressed with
+// power-of-two sizing, level-tagged hashing and incremental rehash on
+// growth, and the computed table is a bounded direct-mapped lossy cache.
+// DESIGN.md §8 records the measured speedup over the previous map-based
+// manager.
 package bdd
 
 import (
@@ -27,16 +35,6 @@ type node struct {
 	lo, hi Ref
 }
 
-type triple struct {
-	level  int32
-	lo, hi Ref
-}
-
-type opKey struct {
-	op      byte
-	f, g, h Ref
-}
-
 const (
 	opIte byte = iota
 	opExists
@@ -44,16 +42,59 @@ const (
 	opPermute
 )
 
+// cacheEntry is one direct-mapped computed-table slot. The full key is
+// stored so a colliding probe never returns a wrong result — collisions
+// overwrite (lossy), they do not chain.
+type cacheEntry struct {
+	f, g, h Ref
+	r       Ref
+	op      byte
+	valid   bool
+}
+
+const (
+	// initialTableSize is the starting unique-table bucket count.
+	initialTableSize = 1 << 10
+	// initialCacheSize / maxCacheSize bound the computed table. The cache
+	// starts small so short-lived managers stay cheap and quadruples up to
+	// the cap as it fills; entries are carried over on growth.
+	initialCacheSize = 1 << 9
+	maxCacheSize     = 1 << 19
+	// migrateStep is how many old-table buckets each mk call drains during
+	// an incremental rehash.
+	migrateStep = 128
+)
+
 // Manager owns the node pool and caches. NumVars is fixed at construction.
 type Manager struct {
 	numVars int
 	nodes   []node
-	unique  map[triple]Ref
-	cache   map[opKey]Ref
-	// quantCube/permID tag the cache entries of parameterized ops.
-	quantTag Ref
-	permTag  int
+
+	// Unique table: open-addressed, power-of-two sized buckets holding node
+	// refs (0 = empty; terminals are never entered). During a rehash the
+	// previous table is drained incrementally: `old` stays read-only while
+	// mk migrates migrateStep buckets per call, so no single operation pays
+	// a full-table rehash stall.
+	table      []Ref
+	tabEntries int
+	old        []Ref
+	oldPos     int
+	rehashes   int
+
+	// Computed table: direct-mapped lossy cache over (op, f, g, h).
+	cache     []cacheEntry
+	cacheUsed int
+
+	// perms holds the distinct permutations seen by Permute, content-
+	// addressed via permTags so cache entries tagged with a perm index can
+	// never be reinterpreted under a different permutation.
 	perms    [][]int
+	permTags map[string]Ref
+
+	// visited/visitEpoch implement O(1)-reset DFS marking for NodeCount.
+	visited    []uint32
+	visitEpoch uint32
+
 	// MaxNodes optionally bounds growth; Ite panics with ErrNodeLimit
 	// beyond it (callers recover to fall back gracefully).
 	MaxNodes int
@@ -68,59 +109,41 @@ type Stats struct {
 	NumVars     int
 	Nodes       int // live node count, including the two terminals
 	PeakNodes   int
-	UniqueSize  int // unique-table entries (internal nodes)
-	CacheSize   int // computed-table entries
+	UniqueSize  int     // unique-table entries (internal nodes)
+	UniqueCap   int     // unique-table bucket count (current table)
+	UniqueLoad  float64 // entries / buckets of the current table
+	Rehashes    int     // unique-table growth events
+	CacheSize   int     // occupied computed-table slots
+	CacheCap    int     // computed-table slot count
 	CacheHits   int64
 	CacheMisses int64
 }
 
 // Stats returns the current table accounting.
 func (m *Manager) Stats() Stats {
+	load := 0.0
+	if len(m.table) > 0 {
+		load = float64(m.tabEntries) / float64(len(m.table))
+	}
 	return Stats{
 		NumVars:     m.numVars,
 		Nodes:       len(m.nodes),
 		PeakNodes:   len(m.nodes),
-		UniqueSize:  len(m.unique),
-		CacheSize:   len(m.cache),
+		UniqueSize:  len(m.nodes) - 2,
+		UniqueCap:   len(m.table),
+		UniqueLoad:  load,
+		Rehashes:    m.rehashes,
+		CacheSize:   m.cacheUsed,
+		CacheCap:    len(m.cache),
 		CacheHits:   m.cacheHits,
 		CacheMisses: m.cacheMisses,
 	}
 }
 
 func (s Stats) String() string {
-	return fmt.Sprintf("nodes=%d unique=%d cache=%d hits=%d misses=%d",
-		s.Nodes, s.UniqueSize, s.CacheSize, s.CacheHits, s.CacheMisses)
-}
-
-// cacheGet is the accounting wrapper around computed-table lookups.
-func (m *Manager) cacheGet(k opKey) (Ref, bool) {
-	if r, ok := m.cache[k]; ok {
-		m.cacheHits++
-		return r, true
-	}
-	m.cacheMisses++
-	return 0, false
-}
-
-// NodeCount returns the number of distinct internal nodes reachable from f
-// (the size of f's DAG, excluding terminals).
-func (m *Manager) NodeCount(f Ref) int {
-	if f == True || f == False {
-		return 0
-	}
-	seen := make(map[Ref]bool)
-	var walk func(Ref)
-	walk = func(g Ref) {
-		if g == True || g == False || seen[g] {
-			return
-		}
-		seen[g] = true
-		n := m.nodes[g]
-		walk(n.lo)
-		walk(n.hi)
-	}
-	walk(f)
-	return len(seen)
+	return fmt.Sprintf("nodes=%d unique=%d/%d(load %.2f, %d rehashes) cache=%d/%d hits=%d misses=%d",
+		s.Nodes, s.UniqueSize, s.UniqueCap, s.UniqueLoad, s.Rehashes,
+		s.CacheSize, s.CacheCap, s.CacheHits, s.CacheMisses)
 }
 
 // ErrNodeLimit is the panic value raised when MaxNodes is exceeded.
@@ -128,17 +151,17 @@ var ErrNodeLimit = fmt.Errorf("bdd: node limit exceeded")
 
 const terminalLevel = int32(1) << 30
 
-// New creates a manager for n variables.
+// New creates a manager for n variables. The node pool and both tables are
+// preallocated so early operations never pay growth stalls.
 func New(n int) *Manager {
 	m := &Manager{
 		numVars: n,
-		unique:  make(map[triple]Ref),
-		cache:   make(map[opKey]Ref),
+		nodes:   make([]node, 2, 1<<12),
+		table:   make([]Ref, initialTableSize),
+		cache:   make([]cacheEntry, initialCacheSize),
 	}
-	m.nodes = append(m.nodes,
-		node{level: terminalLevel}, // False
-		node{level: terminalLevel}, // True
-	)
+	m.nodes[0] = node{level: terminalLevel} // False
+	m.nodes[1] = node{level: terminalLevel} // True
 	return m
 }
 
@@ -148,21 +171,193 @@ func (m *Manager) NumVars() int { return m.numVars }
 // Size returns the number of live nodes (including terminals).
 func (m *Manager) Size() int { return len(m.nodes) }
 
+// hash3 is the level-tagged node hash: distinct multiplicative mixes per
+// field, finalized murmur-style. Power-of-two tables only use the low bits,
+// so the finalizer matters.
+func hash3(level int32, lo, hi Ref) uint32 {
+	h := uint32(level)*0x9e3779b1 ^ uint32(lo)*0x85ebca6b ^ uint32(hi)*0xc2b2ae35
+	h ^= h >> 15
+	h *= 0x2c1b3c6d
+	h ^= h >> 13
+	return h
+}
+
+// migrate drains up to migrateStep buckets of the old unique table into the
+// current one. Entries live in exactly one table, so reinsertion cannot
+// duplicate.
+func (m *Manager) migrate() {
+	if m.old == nil {
+		return
+	}
+	end := m.oldPos + migrateStep
+	if end > len(m.old) {
+		end = len(m.old)
+	}
+	for ; m.oldPos < end; m.oldPos++ {
+		if r := m.old[m.oldPos]; r != 0 {
+			m.insertRef(r)
+		}
+	}
+	if m.oldPos >= len(m.old) {
+		m.old = nil
+	}
+}
+
+// insertRef places an existing node into the current table (no existence
+// check: callers guarantee the node is not already present).
+func (m *Manager) insertRef(r Ref) {
+	n := &m.nodes[r]
+	mask := uint32(len(m.table) - 1)
+	i := hash3(n.level, n.lo, n.hi) & mask
+	for m.table[i] != 0 {
+		i = (i + 1) & mask
+	}
+	m.table[i] = r
+	m.tabEntries++
+}
+
+// grow doubles the unique table. The full old table is kept read-only and
+// drained incrementally by subsequent mk calls.
+func (m *Manager) grow() {
+	if m.old != nil {
+		// A rehash is still draining; finish it before starting another.
+		m.oldPos = 0
+		for _, r := range m.old[m.oldPos:] {
+			if r != 0 {
+				m.insertRef(r)
+			}
+		}
+		m.old = nil
+	}
+	m.old = m.table
+	m.oldPos = 0
+	m.table = make([]Ref, 2*len(m.table))
+	m.tabEntries = 0
+	m.rehashes++
+}
+
 func (m *Manager) mk(level int32, lo, hi Ref) Ref {
 	if lo == hi {
 		return lo
 	}
-	k := triple{level, lo, hi}
-	if r, ok := m.unique[k]; ok {
-		return r
+	m.migrate()
+	h := hash3(level, lo, hi)
+	mask := uint32(len(m.table) - 1)
+	i := h & mask
+	for {
+		r := m.table[i]
+		if r == 0 {
+			break
+		}
+		n := &m.nodes[r]
+		if n.level == level && n.lo == lo && n.hi == hi {
+			return r
+		}
+		i = (i + 1) & mask
+	}
+	if m.old != nil {
+		omask := uint32(len(m.old) - 1)
+		j := h & omask
+		for {
+			r := m.old[j]
+			if r == 0 {
+				break
+			}
+			n := &m.nodes[r]
+			if n.level == level && n.lo == lo && n.hi == hi {
+				return r
+			}
+			j = (j + 1) & omask
+		}
 	}
 	if m.MaxNodes > 0 && len(m.nodes) >= m.MaxNodes {
 		panic(ErrNodeLimit)
 	}
 	r := Ref(len(m.nodes))
 	m.nodes = append(m.nodes, node{level: level, lo: lo, hi: hi})
-	m.unique[k] = r
+	m.table[i] = r
+	m.tabEntries++
+	// Grow at 3/4 load. Migration drains far faster than fresh inserts can
+	// refill, so the draining table is always empty well before this fires
+	// again (the grow() drain loop is a safety net, not the common path).
+	if m.tabEntries*4 >= len(m.table)*3 {
+		m.grow()
+	}
 	return r
+}
+
+// cacheIndex hashes a computed-table key into the direct-mapped cache.
+func (m *Manager) cacheIndex(op byte, f, g, h Ref) uint32 {
+	x := uint32(f)*0x9e3779b1 ^ uint32(g)*0x85ebca6b ^ uint32(h)*0xc2b2ae35 ^ uint32(op)*0x27d4eb2f
+	x ^= x >> 16
+	x *= 0x7feb352d
+	x ^= x >> 15
+	return x & uint32(len(m.cache)-1)
+}
+
+// cacheGet probes the computed table, accounting hits and misses.
+func (m *Manager) cacheGet(op byte, f, g, h Ref) (Ref, bool) {
+	e := &m.cache[m.cacheIndex(op, f, g, h)]
+	if e.valid && e.op == op && e.f == f && e.g == g && e.h == h {
+		m.cacheHits++
+		return e.r, true
+	}
+	m.cacheMisses++
+	return 0, false
+}
+
+// cachePut stores a result, overwriting whatever occupied the slot (lossy
+// direct-mapped replacement). When the cache is 3/4 occupied and below the
+// cap it quadruples, carrying surviving entries over.
+func (m *Manager) cachePut(op byte, f, g, h, r Ref) {
+	e := &m.cache[m.cacheIndex(op, f, g, h)]
+	if !e.valid {
+		m.cacheUsed++
+	}
+	*e = cacheEntry{f: f, g: g, h: h, r: r, op: op, valid: true}
+	if m.cacheUsed*4 >= len(m.cache)*3 && len(m.cache) < maxCacheSize {
+		old := m.cache
+		m.cache = make([]cacheEntry, 4*len(old))
+		m.cacheUsed = 0
+		for _, oe := range old {
+			if !oe.valid {
+				continue
+			}
+			ne := &m.cache[m.cacheIndex(oe.op, oe.f, oe.g, oe.h)]
+			if !ne.valid {
+				m.cacheUsed++
+			}
+			*ne = oe
+		}
+	}
+}
+
+// NodeCount returns the number of distinct internal nodes reachable from f
+// (the size of f's DAG, excluding terminals).
+func (m *Manager) NodeCount(f Ref) int {
+	if f == True || f == False {
+		return 0
+	}
+	if len(m.visited) < len(m.nodes) {
+		m.visited = make([]uint32, len(m.nodes)+len(m.nodes)/2)
+		m.visitEpoch = 0
+	}
+	m.visitEpoch++
+	epoch := m.visitEpoch
+	count := 0
+	var walk func(Ref)
+	walk = func(g Ref) {
+		if g == True || g == False || m.visited[g] == epoch {
+			return
+		}
+		m.visited[g] = epoch
+		count++
+		n := m.nodes[g]
+		walk(n.lo)
+		walk(n.hi)
+	}
+	walk(f)
+	return count
 }
 
 // Var returns the BDD of variable v.
@@ -193,8 +388,7 @@ func (m *Manager) Ite(f, g, h Ref) Ref {
 	case g == True && h == False:
 		return f
 	}
-	k := opKey{opIte, f, g, h}
-	if r, ok := m.cacheGet(k); ok {
+	if r, ok := m.cacheGet(opIte, f, g, h); ok {
 		return r
 	}
 	top := m.level(f)
@@ -210,7 +404,7 @@ func (m *Manager) Ite(f, g, h Ref) Ref {
 	lo := m.Ite(f0, g0, h0)
 	hi := m.Ite(f1, g1, h1)
 	r := m.mk(top, lo, hi)
-	m.cache[k] = r
+	m.cachePut(opIte, f, g, h, r)
 	return r
 }
 
@@ -265,7 +459,9 @@ func (m *Manager) Exists(f Ref, vars []bool) Ref {
 }
 
 // varsCube builds a positive cube over the marked variables, used as the
-// quantification schedule and as a cache tag.
+// quantification schedule and as a cache tag. Cubes are canonical BDDs, so
+// two quantifications over the same variable set share cache entries and
+// can never alias entries of a different cube.
 func (m *Manager) varsCube(vars []bool) Ref {
 	cube := True
 	for v := m.numVars - 1; v >= 0; v-- {
@@ -280,8 +476,7 @@ func (m *Manager) exists(f, cube Ref) Ref {
 	if f == True || f == False || cube == True {
 		return f
 	}
-	k := opKey{opExists, f, cube, 0}
-	if r, ok := m.cacheGet(k); ok {
+	if r, ok := m.cacheGet(opExists, f, cube, 0); ok {
 		return r
 	}
 	fl := m.level(f)
@@ -291,7 +486,7 @@ func (m *Manager) exists(f, cube Ref) Ref {
 		c = m.nodes[c].hi
 	}
 	if c == True {
-		m.cache[k] = f
+		m.cachePut(opExists, f, cube, 0, f)
 		return f
 	}
 	n := m.nodes[f]
@@ -306,7 +501,7 @@ func (m *Manager) exists(f, cube Ref) Ref {
 		hi := m.exists(n.hi, c)
 		r = m.mk(fl, lo, hi)
 	}
-	m.cache[k] = r
+	m.cachePut(opExists, f, cube, 0, r)
 	return r
 }
 
@@ -336,8 +531,10 @@ func (m *Manager) andExists(f, g, cube Ref) Ref {
 	if f == g {
 		return m.exists(f, cube)
 	}
-	k := opKey{opAndExists, f, g, cube}
-	if r, ok := m.cacheGet(k); ok {
+	if f > g {
+		f, g = g, f // ∧ is commutative: canonical order doubles cache reach
+	}
+	if r, ok := m.cacheGet(opAndExists, f, g, cube); ok {
 		return r
 	}
 	top := m.level(f)
@@ -360,32 +557,45 @@ func (m *Manager) andExists(f, g, cube Ref) Ref {
 		hi := m.andExists(f1, g1, c)
 		r = m.mk(top, lo, hi)
 	}
-	m.cache[k] = r
+	m.cachePut(opAndExists, f, g, cube, r)
 	return r
 }
 
 // Permute renames variables: variable v becomes perm[v]. Identity entries
 // may be omitted by passing perm[v] == v.
+//
+// Permutations are content-addressed: the same mapping always resolves to
+// the same cache tag, so repeated Permute calls share computed-table
+// entries, and entries written under one permutation can never be returned
+// for another (the regression the map-era tag-per-call scheme only avoided
+// by never reusing tags, forfeiting all cross-call caching).
 func (m *Manager) Permute(f Ref, perm []int) Ref {
-	if len(perm) != m.numVars {
-		p := make([]int, m.numVars)
-		for i := range p {
-			p[i] = i
-		}
-		copy(p, perm)
-		perm = p
+	p := make([]int, m.numVars)
+	for i := range p {
+		p[i] = i
 	}
-	m.perms = append(m.perms, perm)
-	tag := Ref(len(m.perms) - 1)
-	return m.permute(f, perm, tag)
+	copy(p, perm)
+	key := make([]byte, 0, 4*len(p))
+	for _, v := range p {
+		key = append(key, byte(v), byte(v>>8), byte(v>>16), byte(v>>24))
+	}
+	if m.permTags == nil {
+		m.permTags = make(map[string]Ref)
+	}
+	tag, ok := m.permTags[string(key)]
+	if !ok {
+		m.perms = append(m.perms, p)
+		tag = Ref(len(m.perms) - 1)
+		m.permTags[string(key)] = tag
+	}
+	return m.permute(f, m.perms[tag], tag)
 }
 
 func (m *Manager) permute(f Ref, perm []int, tag Ref) Ref {
 	if f == True || f == False {
 		return f
 	}
-	k := opKey{opPermute, f, tag, 0}
-	if r, ok := m.cacheGet(k); ok {
+	if r, ok := m.cacheGet(opPermute, f, tag, 0); ok {
 		return r
 	}
 	n := m.nodes[f]
@@ -393,7 +603,7 @@ func (m *Manager) permute(f Ref, perm []int, tag Ref) Ref {
 	hi := m.permute(n.hi, perm, tag)
 	v := perm[n.level]
 	r := m.Ite(m.Var(v), hi, lo)
-	m.cache[k] = r
+	m.cachePut(opPermute, f, tag, 0, r)
 	return r
 }
 
@@ -515,11 +725,4 @@ func (m *Manager) ToCover(f Ref, n int) *logic.Cover {
 	}
 	walk(f, cur)
 	return out
-}
-
-func min(a, b int) int {
-	if a < b {
-		return a
-	}
-	return b
 }

@@ -1,0 +1,131 @@
+package bdd
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// The micro-benchmarks build every BDD from scratch on a fresh manager per
+// iteration, so they measure the cold-table cost of the unique-table and
+// computed-cache machinery (the hot path of implicit state enumeration),
+// not the trivial all-hits steady state.
+
+// iteWorkload deterministically describes a batch of random SOP functions:
+// each function is a list of cubes, each cube a list of (var, phase) pairs.
+type iteWorkload [][][][2]int
+
+func makeIteWorkload(nvars, funcs, cubes int, seed int64) iteWorkload {
+	r := rand.New(rand.NewSource(seed))
+	w := make(iteWorkload, funcs)
+	for i := range w {
+		for c := 0; c < cubes; c++ {
+			var cube [][2]int
+			for v := 0; v < nvars; v++ {
+				switch r.Intn(3) {
+				case 0:
+					cube = append(cube, [2]int{v, 1})
+				case 1:
+					cube = append(cube, [2]int{v, 0})
+				}
+			}
+			w[i] = append(w[i], cube)
+		}
+	}
+	return w
+}
+
+func (w iteWorkload) build(m *Manager) []Ref {
+	out := make([]Ref, len(w))
+	for i, cubes := range w {
+		f := False
+		for _, cube := range cubes {
+			c := True
+			for _, lit := range cube {
+				if lit[1] == 1 {
+					c = m.And(c, m.Var(lit[0]))
+				} else {
+					c = m.And(c, m.NVar(lit[0]))
+				}
+			}
+			f = m.Or(f, c)
+		}
+		out[i] = f
+	}
+	return out
+}
+
+// BenchmarkIte measures the universal connective over a batch of random
+// functions: SOP construction, pairwise XOR folding, and a final parity
+// chain. This is the kernel every other operation reduces to.
+func BenchmarkIte(b *testing.B) {
+	const nvars = 24
+	w := makeIteWorkload(nvars, 16, 12, 7)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m := New(nvars)
+		fs := w.build(m)
+		acc := False
+		for _, f := range fs {
+			acc = m.Xor(acc, f)
+		}
+		for v := 0; v < nvars; v++ {
+			acc = m.Xor(acc, m.Var(v))
+		}
+		if acc == False {
+			b.Fatal("degenerate workload")
+		}
+	}
+}
+
+// BenchmarkAndExists measures the relational-product kernel on a synthetic
+// interleaved transition relation, mirroring one image step of reach.
+func BenchmarkAndExists(b *testing.B) {
+	const latches = 10
+	nvars := 2 * latches
+	w := makeIteWorkload(nvars, latches, 6, 11)
+	quant := make([]bool, nvars)
+	for i := 0; i < latches; i++ {
+		quant[2*i] = true // quantify current-state vars
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m := New(nvars)
+		deltas := w.build(m)
+		rel := True
+		for l, d := range deltas {
+			rel = m.And(rel, m.Xnor(m.Var(2*l+1), d))
+		}
+		front := True
+		for l := 0; l < latches; l++ {
+			front = m.And(front, m.NVar(2*l))
+		}
+		img := m.AndExists(front, rel, quant)
+		if img == False {
+			b.Fatal("empty image")
+		}
+	}
+}
+
+// BenchmarkMk isolates unique-table pressure: a wide parity ladder creates
+// and re-finds thousands of nodes with minimal computed-cache help.
+func BenchmarkMk(b *testing.B) {
+	const nvars = 64
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m := New(nvars)
+		f := False
+		for v := 0; v < nvars; v++ {
+			f = m.Xor(f, m.Var(v))
+		}
+		g := True
+		for v := 0; v < nvars; v++ {
+			g = m.Xnor(g, m.Var(v))
+		}
+		if m.Xor(f, g) != True { // g folds one extra inversion: g == ¬f
+			b.Fatal("parity mismatch")
+		}
+	}
+}

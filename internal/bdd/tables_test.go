@@ -1,0 +1,216 @@
+package bdd
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestIncrementalRehash forces the unique table through several growth
+// cycles and checks that canonicity survives the incremental migration:
+// rebuilding the same functions must return the same refs, and the table
+// accounting must stay consistent with the node pool.
+func TestIncrementalRehash(t *testing.T) {
+	const nvars = 48
+	m := New(nvars)
+	build := func() Ref {
+		f := False
+		for v := 0; v < nvars; v++ {
+			f = m.Xor(f, m.Var(v))
+		}
+		r := rand.New(rand.NewSource(5))
+		for k := 0; k < 40; k++ {
+			c := True
+			for v := 0; v < nvars; v++ {
+				switch r.Intn(4) {
+				case 0:
+					c = m.And(c, m.Var(v))
+				case 1:
+					c = m.And(c, m.NVar(v))
+				}
+			}
+			f = m.Or(f, c)
+		}
+		return f
+	}
+	f := build()
+	st := m.Stats()
+	if st.Rehashes == 0 {
+		t.Fatalf("workload too small to trigger a rehash: %+v", st)
+	}
+	if st.UniqueCap <= initialTableSize {
+		t.Fatalf("table never grew: cap=%d", st.UniqueCap)
+	}
+	if st.UniqueSize != st.Nodes-2 {
+		t.Fatalf("unique entries (%d) must equal internal nodes (%d)", st.UniqueSize, st.Nodes-2)
+	}
+	if st.UniqueLoad <= 0 || st.UniqueLoad >= 1 {
+		t.Fatalf("implausible load %v", st.UniqueLoad)
+	}
+	// Rebuilding must find every node again (possibly mid-migration).
+	if g := build(); g != f {
+		t.Fatal("canonicity lost across rehash: rebuild produced a different ref")
+	}
+	if m.Stats().Nodes != st.Nodes {
+		t.Fatalf("rebuild created nodes: %d -> %d", st.Nodes, m.Stats().Nodes)
+	}
+	// The old table must eventually drain completely.
+	for i := 0; i < len(m.nodes); i++ {
+		m.migrate()
+	}
+	if m.old != nil {
+		t.Fatal("old table never drained")
+	}
+}
+
+// TestMidMigrationLookup pins the two-table lookup path: trigger a grow,
+// then immediately re-request nodes that still live in the draining table.
+func TestMidMigrationLookup(t *testing.T) {
+	const nvars = 40
+	m := New(nvars)
+	refs := make([]Ref, 0, nvars)
+	f := False
+	for v := 0; v < nvars; v++ {
+		f = m.Xor(f, m.Var(v))
+		refs = append(refs, f)
+	}
+	grew := false
+	for k := 0; k < 64 && !grew; k++ {
+		g := True
+		for v := 0; v < nvars; v++ {
+			if (k>>uint(v%6))&1 == 0 {
+				g = m.And(g, m.Var(v))
+			}
+		}
+		_ = g
+		grew = m.old != nil
+	}
+	// Whether or not a migration is in flight right now, every previously
+	// created ref must still be found, not recreated.
+	before := m.Size()
+	h := False
+	for v := 0; v < nvars; v++ {
+		h = m.Xor(h, m.Var(v))
+	}
+	if h != refs[nvars-1] {
+		t.Fatal("parity ref changed after growth")
+	}
+	if m.Size() != before {
+		t.Fatalf("lookup recreated nodes: %d -> %d", before, m.Size())
+	}
+}
+
+// TestPermuteTagReuse pins the parameterized-op cache fix: the same
+// permutation must map to the same content-addressed tag (so a repeat call
+// is answered from the computed table), while different permutations get
+// different tags and correct, non-aliased results.
+func TestPermuteTagReuse(t *testing.T) {
+	m := New(6)
+	f := m.And(m.Var(0), m.Or(m.Var(2), m.NVar(4)))
+	swap01 := []int{1, 0, 2, 3, 4, 5}
+	rot := []int{1, 2, 3, 4, 5, 0}
+
+	g1 := m.Permute(f, swap01)
+	hits := m.Stats().CacheHits
+	g2 := m.Permute(f, swap01)
+	if g2 != g1 {
+		t.Fatal("same permutation produced different results")
+	}
+	if m.Stats().CacheHits <= hits {
+		t.Fatal("repeat Permute with the same mapping must hit the computed table")
+	}
+	if len(m.perms) != 1 {
+		t.Fatalf("identical permutations must share one tag, got %d", len(m.perms))
+	}
+
+	// A different permutation must not alias the first one's entries.
+	g3 := m.Permute(f, rot)
+	want := m.And(m.Var(1), m.Or(m.Var(3), m.NVar(5)))
+	if g3 != want {
+		t.Fatalf("rotated permute wrong")
+	}
+	if len(m.perms) != 2 {
+		t.Fatalf("distinct permutations must get distinct tags, got %d", len(m.perms))
+	}
+
+	// Mutating the caller's slice after the call must not corrupt the
+	// stored permutation (the map era aliased the input).
+	swap01[0] = 5
+	if m.Permute(f, []int{1, 0, 2, 3, 4, 5}) != g1 {
+		t.Fatal("stored permutation aliased caller memory")
+	}
+}
+
+// TestExistsCubeNoAliasing checks that quantifications over different
+// variable sets never serve each other's cache entries.
+func TestExistsCubeNoAliasing(t *testing.T) {
+	r := rand.New(rand.NewSource(17))
+	m := New(8)
+	f := randBdd(m, r, 8)
+	varsA := []bool{true, false, true, false, false, false, false, false}
+	varsB := []bool{false, true, false, true, false, false, false, false}
+	a1 := m.Exists(f, varsA)
+	b1 := m.Exists(f, varsB)
+	// Fresh manager recomputation is the ground truth.
+	m2 := New(8)
+	f2 := randBdd(m2, rand.New(rand.NewSource(17)), 8)
+	if f2 != f {
+		// Same seed, same construction: refs must agree across managers.
+		t.Fatal("non-deterministic construction")
+	}
+	if m2.Exists(f2, varsA) != a1 || m2.Exists(f2, varsB) != b1 {
+		t.Fatal("interleaved quantifications aliased cache entries")
+	}
+}
+
+// TestCacheGrowth drives enough distinct operations through the computed
+// table to trigger growth and checks the accounting stays sane.
+func TestCacheGrowth(t *testing.T) {
+	const nvars = 32
+	m := New(nvars)
+	r := rand.New(rand.NewSource(9))
+	for k := 0; k < 30; k++ {
+		f := randBdd(m, r, nvars)
+		g := randBdd(m, r, nvars)
+		m.Xor(f, g)
+	}
+	st := m.Stats()
+	if st.CacheCap <= initialCacheSize {
+		t.Fatalf("cache never grew: %+v", st)
+	}
+	if st.CacheSize > st.CacheCap {
+		t.Fatalf("occupancy overflow: %+v", st)
+	}
+	if st.CacheHits == 0 || st.CacheMisses == 0 {
+		t.Fatalf("hit/miss accounting broken: %+v", st)
+	}
+}
+
+// TestNodeLimitDuringMigration checks MaxNodes still fires (and leaves the
+// manager recoverable) when exceeded mid-rehash — the guard-layer contract
+// reach depends on.
+func TestNodeLimitDuringMigration(t *testing.T) {
+	m := New(24)
+	m.MaxNodes = 900 // below the node demand of full parity over 24 vars
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected ErrNodeLimit panic")
+		}
+		// The manager must still answer queries after the contained panic.
+		st := m.Stats()
+		if st.Nodes > m.MaxNodes {
+			t.Fatalf("node pool exceeded MaxNodes: %d", st.Nodes)
+		}
+		if st.UniqueSize != st.Nodes-2 {
+			t.Fatalf("accounting diverged after panic: %+v", st)
+		}
+	}()
+	f := False
+	for v := 0; v < 24; v++ {
+		f = m.Xor(f, m.Var(v))
+		g := True
+		for w := 0; w <= v; w++ {
+			g = m.And(g, m.Var(w))
+		}
+		f = m.Or(f, g)
+	}
+}

@@ -8,6 +8,7 @@ package faults_test
 import (
 	"context"
 	"errors"
+	"fmt"
 	"reflect"
 	"strings"
 	"testing"
@@ -18,6 +19,7 @@ import (
 	"repro/internal/genlib"
 	"repro/internal/guard"
 	"repro/internal/network"
+	"repro/internal/parexec"
 )
 
 // guardedPasses are the transactional pass names consulted by the flows
@@ -40,18 +42,28 @@ func typed(err error) bool {
 	return errors.Is(err, guard.ErrBudget) || errors.As(err, &pe) || errors.As(err, &rb)
 }
 
-func checkResults(t *testing.T, src *network.Network, rs ...*flows.Result) {
-	t.Helper()
+// resultsFailure validates a result trio and describes the first problem,
+// or returns "". It is goroutine-safe so the parallel matrix workers can
+// use it and hand the verdict back to the test goroutine.
+func resultsFailure(src *network.Network, rs ...*flows.Result) string {
 	for i, r := range rs {
 		if r == nil {
-			t.Fatalf("flow %d returned a nil result without an error", i)
+			return fmt.Sprintf("flow %d returned a nil result without an error", i)
 		}
 		if err := r.Net.Check(); err != nil {
-			t.Fatalf("flow %d returned an invalid network: %v", i, err)
+			return fmt.Sprintf("flow %d returned an invalid network: %v", i, err)
 		}
 		if err := flows.Verify(src, r); err != nil {
-			t.Fatalf("flow %d not equivalent to the source: %v", i, err)
+			return fmt.Sprintf("flow %d not equivalent to the source: %v", i, err)
 		}
+	}
+	return ""
+}
+
+func checkResults(t *testing.T, src *network.Network, rs ...*flows.Result) {
+	t.Helper()
+	if msg := resultsFailure(src, rs...); msg != "" {
+		t.Fatal(msg)
 	}
 }
 
@@ -60,33 +72,59 @@ func checkResults(t *testing.T, src *network.Network, rs ...*flows.Result) {
 // either a typed guard error or three valid, verified results; unless the
 // faulted pass is the purely opportunistic guide retiming, the degradation
 // must leave a visible footnote.
+//
+// The scenarios are independent (private source network, private injector,
+// read-only library) and run concurrently on the parexec pool; each worker
+// reports a failure description back to the test goroutine, which surfaces
+// it under the scenario's subtest name in deterministic order.
 func TestTargetedFaultMatrix(t *testing.T) {
 	kinds := []guard.Fault{guard.FaultPanic, guard.FaultCorrupt, guard.FaultDeadline}
+	type scenario struct {
+		pass string
+		kind guard.Fault
+	}
+	var scs []scenario
 	for _, pass := range guardedPasses {
 		for _, kind := range kinds {
-			t.Run(pass+"/"+kind.String(), func(t *testing.T) {
-				src := bench.BuildPaperExample()
-				lib := genlib.Lib2()
-				inj := faults.NewInjector(1).Force(pass, kind)
-				sd, ret, rsyn, err := flows.RunAllCtx(context.Background(), src, lib, flows.Config{Inject: inj})
-				if !inj.Fired(pass, kind) {
-					t.Fatalf("fault %v on %s never fired; events: %v", kind, pass, inj.Events())
-				}
-				if err != nil {
-					if !typed(err) {
-						t.Fatalf("flow error is not a typed guard error: %v", err)
-					}
-					return
-				}
-				checkResults(t, src, sd, ret, rsyn)
-				if pass != "retime.guide" {
-					if sd.Note == "" && ret.Note == "" && rsyn.Note == "" {
-						t.Fatalf("no fallback note after %v on %s: sd=%v ret=%v rsyn=%v",
-							kind, pass, sd.Metrics, ret.Metrics, rsyn.Metrics)
-					}
-				}
-			})
+			scs = append(scs, scenario{pass, kind})
 		}
+	}
+	failures, err := parexec.Map(context.Background(), 0, scs,
+		func(ctx context.Context, _ int, sc scenario) (string, error) {
+			src := bench.BuildPaperExample()
+			lib := genlib.Lib2()
+			inj := faults.NewInjector(1).Force(sc.pass, sc.kind)
+			sd, ret, rsyn, err := flows.RunAllCtx(ctx, src, lib, flows.Config{Inject: inj})
+			if !inj.Fired(sc.pass, sc.kind) {
+				return fmt.Sprintf("fault %v on %s never fired; events: %v", sc.kind, sc.pass, inj.Events()), nil
+			}
+			if err != nil {
+				if !typed(err) {
+					return fmt.Sprintf("flow error is not a typed guard error: %v", err), nil
+				}
+				return "", nil
+			}
+			if msg := resultsFailure(src, sd, ret, rsyn); msg != "" {
+				return msg, nil
+			}
+			if sc.pass != "retime.guide" {
+				if sd.Note == "" && ret.Note == "" && rsyn.Note == "" {
+					return fmt.Sprintf("no fallback note after %v on %s: sd=%v ret=%v rsyn=%v",
+						sc.kind, sc.pass, sd.Metrics, ret.Metrics, rsyn.Metrics), nil
+				}
+			}
+			return "", nil
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, sc := range scs {
+		failure := failures[i]
+		t.Run(sc.pass+"/"+sc.kind.String(), func(t *testing.T) {
+			if failure != "" {
+				t.Fatal(failure)
+			}
+		})
 	}
 }
 
@@ -155,21 +193,35 @@ func TestDeadlineFaultIsBudgetTyped(t *testing.T) {
 	}
 }
 
-// TestRandomFaultSweep drives randomized injections across several seeds.
-// Every outcome must be a typed error or a fully valid, verified trio.
+// TestRandomFaultSweep drives randomized injections across several seeds,
+// concurrently (each seed owns its injector and source network). Every
+// outcome must be a typed error or a fully valid, verified trio.
 func TestRandomFaultSweep(t *testing.T) {
 	kinds := []guard.Fault{guard.FaultPanic, guard.FaultCorrupt, guard.FaultDeadline, guard.FaultBDDBlowup}
-	for seed := int64(1); seed <= 8; seed++ {
-		src := bench.BuildPaperExample()
-		inj := faults.NewInjector(seed).WithRate(0.35, kinds...)
-		sd, ret, rsyn, err := flows.RunAllCtx(context.Background(), src, genlib.Lib2(), flows.Config{Inject: inj})
-		if err != nil {
-			if !typed(err) {
-				t.Fatalf("seed %d: untyped error: %v", seed, err)
+	seeds := []int64{1, 2, 3, 4, 5, 6, 7, 8}
+	failures, err := parexec.Map(context.Background(), 0, seeds,
+		func(ctx context.Context, _ int, seed int64) (string, error) {
+			src := bench.BuildPaperExample()
+			inj := faults.NewInjector(seed).WithRate(0.35, kinds...)
+			sd, ret, rsyn, err := flows.RunAllCtx(ctx, src, genlib.Lib2(), flows.Config{Inject: inj})
+			if err != nil {
+				if !typed(err) {
+					return fmt.Sprintf("seed %d: untyped error: %v", seed, err), nil
+				}
+				return "", nil
 			}
-			continue
+			if msg := resultsFailure(src, sd, ret, rsyn); msg != "" {
+				return fmt.Sprintf("seed %d: %s", seed, msg), nil
+			}
+			return "", nil
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range failures {
+		if f != "" {
+			t.Error(f)
 		}
-		checkResults(t, src, sd, ret, rsyn)
 	}
 }
 

@@ -1,0 +1,52 @@
+package logic
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// benchRandCover builds a deterministic random SOP over n variables with the
+// given cube count; density controls how many literals each cube binds.
+func benchRandCover(r *rand.Rand, n, cubes int, density float64) *Cover {
+	f := NewCover(n)
+	for i := 0; i < cubes; i++ {
+		c := NewCube(n)
+		for v := 0; v < n; v++ {
+			if r.Float64() < density {
+				if r.Intn(2) == 0 {
+					c.SetLit(v, LitPos)
+				} else {
+					c.SetLit(v, LitNeg)
+				}
+			}
+		}
+		f.Add(c)
+	}
+	return f
+}
+
+// BenchmarkSimplify measures the espresso-style minimizer with a DCret-like
+// don't-care set — the inner loop of both the resynthesis core and the
+// unreachable-state DC application of the baseline flow.
+func BenchmarkSimplify(b *testing.B) {
+	for _, sz := range []struct {
+		name           string
+		n, on, dc      int
+		donDens, dcDen float64
+	}{
+		{"n6", 6, 8, 4, 0.6, 0.5},
+		{"n8", 8, 12, 6, 0.5, 0.4},
+		{"n10", 10, 16, 8, 0.4, 0.35},
+	} {
+		b.Run(sz.name, func(b *testing.B) {
+			r := rand.New(rand.NewSource(41))
+			f := benchRandCover(r, sz.n, sz.on, sz.donDens)
+			dc := benchRandCover(r, sz.n, sz.dc, sz.dcDen)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				Simplify(f, dc)
+			}
+		})
+	}
+}

@@ -75,7 +75,13 @@ func (n *Network) Check() error {
 			return fmt.Errorf("network: PO %s driver removed", p.Name)
 		}
 	}
-	if _, err := n.TopoOrder(); err != nil {
+	// Validation must not trust the topo memo: Check exists precisely to
+	// catch out-of-API mutations (fault injection writes Fanins directly),
+	// which bypass invalidation. Recompute, then refresh the memo with the
+	// ground truth just established.
+	order, err := n.topoSort()
+	n.topoCache, n.topoErr, n.topoValid = order, err, true
+	if err != nil {
 		return err
 	}
 	return nil

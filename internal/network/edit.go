@@ -31,6 +31,7 @@ func (n *Network) SetFunction(node *Node, fanins []*Node, f *logic.Cover) {
 	for _, fi := range fanins {
 		fi.fanouts = append(fi.fanouts, node)
 	}
+	n.invalidateTopo()
 }
 
 func sameCover(a, b *logic.Cover) bool {
@@ -219,6 +220,7 @@ func (n *Network) RemoveDeadNode(node *Node) {
 			break
 		}
 	}
+	n.invalidateTopo()
 }
 
 // RemoveLatch deletes a latch and its output node. The output node must
@@ -240,6 +242,7 @@ func (n *Network) RemoveLatch(l *Latch) {
 			break
 		}
 	}
+	n.invalidateTopo()
 }
 
 // Sweep removes logic nodes unreachable from any primary output or register

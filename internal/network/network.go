@@ -105,6 +105,12 @@ type Network struct {
 
 	byName map[string]*Node
 	nextID int
+
+	// Memoized TopoOrder result (see topo.go). Valid distinguishes "not
+	// computed" from a cached nil-order cycle error.
+	topoCache []*Node
+	topoErr   error
+	topoValid bool
 }
 
 // New creates an empty network.
@@ -153,6 +159,7 @@ func (n *Network) register(node *Node) *Node {
 	n.nextID++
 	n.byName[node.Name] = node
 	n.nodes = append(n.nodes, node)
+	n.invalidateTopo()
 	return node
 }
 

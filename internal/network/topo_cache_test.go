@@ -1,0 +1,125 @@
+package network
+
+import (
+	"testing"
+
+	"repro/internal/logic"
+)
+
+func sameOrder(a, b []*Node) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// TestTopoOrderCached checks that repeated calls are served from the memo
+// (same order, fresh slice) and that every structural mutation invalidates.
+func TestTopoOrderCached(t *testing.T) {
+	n, g1, g2 := buildToy(t)
+	o1, err := n.TopoOrder()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !n.topoValid {
+		t.Fatal("first TopoOrder did not populate the cache")
+	}
+	o2, err := n.TopoOrder()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sameOrder(o1, o2) {
+		t.Fatal("cached order differs")
+	}
+	// Returned slices must not alias the cache or each other.
+	o1[0], o1[1] = o1[1], o1[0]
+	o3, _ := n.TopoOrder()
+	if !sameOrder(o2, o3) {
+		t.Fatal("caller mutation leaked into the cache")
+	}
+
+	// SetFunction invalidates and the new order reflects the rewire.
+	inv := logic.MustParseCover(1, "0")
+	g3 := n.AddLogic("g3", []*Node{g2}, inv)
+	if n.topoValid {
+		t.Fatal("AddLogic must invalidate the topo cache")
+	}
+	n.AddPO("z", g3)
+	o4, err := n.TopoOrder()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(o4) != 3 {
+		t.Fatalf("new node missing from order: %d", len(o4))
+	}
+
+	n.SetFunction(g3, []*Node{g1}, inv.Clone())
+	if n.topoValid {
+		t.Fatal("SetFunction must invalidate the topo cache")
+	}
+	if _, err := n.TopoOrder(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Removing nodes invalidates too.
+	n.RedirectConsumers(g3, g1)
+	n.RemoveDeadNode(g3)
+	if n.topoValid {
+		t.Fatal("RemoveDeadNode must invalidate the topo cache")
+	}
+	o5, err := n.TopoOrder()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(o5) != 2 {
+		t.Fatalf("removed node still in order: %d", len(o5))
+	}
+}
+
+// TestTopoCacheCyclesAndLatchRemoval checks that a cycle error is memoized
+// and cleared once the cycle is edited away, and that RemoveLatch
+// invalidates.
+func TestTopoCacheCyclesAndLatchRemoval(t *testing.T) {
+	n := New("cyc")
+	a := n.AddPI("a")
+	buf := logic.MustParseCover(1, "1")
+	and := logic.MustParseCover(2, "11")
+	x := n.AddLogic("x", []*Node{a}, buf)
+	y := n.AddLogic("y", []*Node{x, a}, and)
+	n.AddPO("o", y)
+	n.SetFunction(x, []*Node{y}, buf.Clone()) // x <- y <- x: combinational cycle
+	if _, err := n.TopoOrder(); err == nil {
+		t.Fatal("cycle not detected")
+	}
+	if !n.topoValid || n.topoErr == nil {
+		t.Fatal("cycle error must be memoized")
+	}
+	if _, err := n.TopoOrder(); err == nil {
+		t.Fatal("memoized cycle error lost")
+	}
+	n.SetFunction(x, []*Node{a}, buf.Clone()) // break the cycle
+	if _, err := n.TopoOrder(); err != nil {
+		t.Fatalf("cycle error survived the fix: %v", err)
+	}
+
+	// RemoveLatch drops the cache: the latch output node leaves the graph.
+	m := New("lat")
+	b := m.AddPI("b")
+	l := m.AddLatch("s", b, V0)
+	m.AddPO("p", b)
+	if _, err := m.TopoOrder(); err != nil {
+		t.Fatal(err)
+	}
+	m.RemoveLatch(l)
+	if m.topoValid {
+		t.Fatal("RemoveLatch must invalidate the topo cache")
+	}
+	if _, err := m.TopoOrder(); err != nil {
+		t.Fatal(err)
+	}
+}

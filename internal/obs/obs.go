@@ -201,6 +201,50 @@ func (t *Tracer) Event(name string, fields map[string]any) {
 	t.emit(Event{Ev: "event", Name: name, Span: t.cur.path(), TMs: t.sinceStart(time.Now()), Fields: fields})
 }
 
+// Merge grafts the span tree of sub under the innermost open span of t and
+// adds sub's root counters there. It exists for the parallel evaluation
+// flows: each worker traces into a private tracer, and the coordinator
+// merges the finished tracers back in input order so the combined tree is
+// identical to a sequential run's.
+//
+// sub must be quiescent — its goroutine done, every span ended (any still
+// open are force-closed defensively) — and must not be used afterwards:
+// its spans now belong to t. Merging a tracer into itself is a no-op.
+func (t *Tracer) Merge(sub *Tracer) {
+	if t == nil || sub == nil || t == sub {
+		return
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	sub.mu.Lock()
+	defer sub.mu.Unlock()
+	var adopt func(s, parent *Span)
+	adopt = func(s, parent *Span) {
+		s.tracer = t
+		s.parent = parent
+		if s.open {
+			s.dur = time.Since(s.start)
+			s.open = false
+		}
+		for _, c := range s.children {
+			adopt(c, s)
+		}
+	}
+	for _, c := range sub.root.children {
+		adopt(c, t.cur)
+		t.cur.children = append(t.cur.children, c)
+	}
+	if len(sub.root.counters) > 0 && t.cur.counters == nil {
+		t.cur.counters = make(map[string]int64)
+	}
+	for k, v := range sub.root.counters {
+		t.cur.counters[k] += v
+	}
+	sub.root.children = nil
+	sub.root.counters = nil
+	sub.cur = sub.root
+}
+
 // Root returns the implicit root span (its children are the top-level
 // spans begun on the tracer).
 func (t *Tracer) Root() *Span {

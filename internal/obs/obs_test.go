@@ -166,3 +166,64 @@ func BenchmarkLiveSpan(b *testing.B) {
 		sp.End()
 	}
 }
+
+func TestMergeGraftsSubTracer(t *testing.T) {
+	main := New()
+	outer := main.Begin("table")
+
+	// Two workers trace privately, out of order; merge back in input order.
+	w0 := New()
+	s := w0.Begin("circuit.a")
+	s.Add("lits_saved", 3)
+	w0.Begin("pass.x").End()
+	s.End()
+
+	w1 := New()
+	s = w1.Begin("circuit.b")
+	s.Add("lits_saved", 4)
+	// Left open deliberately: Merge must force-close it.
+	w1.Add("stray", 1)
+
+	main.Merge(w0)
+	main.Merge(w1)
+	outer.End()
+	top := main.Begin("after")
+	top.End()
+
+	kids := outer.Children()
+	if len(kids) != 2 || kids[0].Name != "circuit.a" || kids[1].Name != "circuit.b" {
+		t.Fatalf("graft order wrong: %v", kids)
+	}
+	if main.Counter("lits_saved") != 7 {
+		t.Fatalf("counters lost in merge: %d", main.Counter("lits_saved"))
+	}
+	if main.Counter("stray") != 1 {
+		t.Fatal("counters on still-open worker spans must survive the merge")
+	}
+	if main.Root().Find("pass.x") == nil {
+		t.Fatal("nested worker span missing after merge")
+	}
+	b := main.Root().Find("circuit.b")
+	if b.Dur() <= 0 {
+		t.Fatal("open worker span must be force-closed with a duration")
+	}
+	// The grafted spans must now answer through the main tracer's lock.
+	if got := b.Counter("lits_saved"); got != 4 {
+		t.Fatalf("grafted span counter = %d", got)
+	}
+	// The sub-tracer is drained: merging it again adds nothing.
+	before := len(outer.Children())
+	main.Merge(w1)
+	main.Merge(main) // self-merge no-op
+	if len(outer.Children()) != before {
+		t.Fatal("re-merging a drained tracer must be a no-op")
+	}
+
+	var buf bytes.Buffer
+	main.WriteTree(&buf)
+	for _, want := range []string{"circuit.a", "circuit.b", "pass.x", "lits_saved=3", "lits_saved=4"} {
+		if !strings.Contains(buf.String(), want) {
+			t.Fatalf("merged tree missing %q:\n%s", want, buf.String())
+		}
+	}
+}

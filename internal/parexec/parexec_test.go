@@ -1,0 +1,160 @@
+package parexec
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestWorkersNormalization(t *testing.T) {
+	if Workers(3) != 3 {
+		t.Fatal("positive counts must pass through")
+	}
+	if Workers(0) != runtime.GOMAXPROCS(0) || Workers(-4) != runtime.GOMAXPROCS(0) {
+		t.Fatal("non-positive counts must select GOMAXPROCS")
+	}
+}
+
+// TestMapOrdered checks results land at their input index for every worker
+// count, including counts above the item count.
+func TestMapOrdered(t *testing.T) {
+	items := make([]int, 37)
+	for i := range items {
+		items[i] = i * 10
+	}
+	for _, w := range []int{1, 2, 3, 8, 64} {
+		out, err := Map(context.Background(), w, items, func(_ context.Context, idx int, item int) (string, error) {
+			if idx%3 == 0 {
+				time.Sleep(time.Millisecond) // scramble completion order
+			}
+			return fmt.Sprintf("%d:%d", idx, item), nil
+		})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", w, err)
+		}
+		for i, s := range out {
+			if want := fmt.Sprintf("%d:%d", i, i*10); s != want {
+				t.Fatalf("workers=%d: out[%d] = %q, want %q", w, i, s, want)
+			}
+		}
+	}
+}
+
+func TestMapEmpty(t *testing.T) {
+	out, err := Map(context.Background(), 4, nil, func(_ context.Context, _ int, _ int) (int, error) {
+		t.Fatal("fn called for empty input")
+		return 0, nil
+	})
+	if err != nil || len(out) != 0 {
+		t.Fatalf("empty map: %v %v", out, err)
+	}
+}
+
+// TestMapFirstError checks that an error stops new items from starting and
+// is the error returned, for sequential and parallel paths alike.
+func TestMapFirstError(t *testing.T) {
+	boom := errors.New("boom")
+	for _, w := range []int{1, 4} {
+		var started int32
+		items := make([]int, 100)
+		_, err := Map(context.Background(), w, items, func(ctx context.Context, idx int, _ int) (int, error) {
+			atomic.AddInt32(&started, 1)
+			if idx == 3 {
+				return 0, boom
+			}
+			return idx, nil
+		})
+		if !errors.Is(err, boom) {
+			t.Fatalf("workers=%d: err = %v", w, err)
+		}
+		if n := atomic.LoadInt32(&started); n == 100 {
+			t.Fatalf("workers=%d: error did not stop the sweep", w)
+		}
+	}
+}
+
+// TestMapCancellation checks an external cancel drains the pool promptly.
+func TestMapCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	var done int32
+	items := make([]int, 1000)
+	go func() {
+		for atomic.LoadInt32(&done) < 5 {
+			time.Sleep(100 * time.Microsecond)
+		}
+		cancel()
+	}()
+	_, err := Map(ctx, 4, items, func(ctx context.Context, idx int, _ int) (int, error) {
+		atomic.AddInt32(&done, 1)
+		select {
+		case <-ctx.Done():
+			return 0, ctx.Err()
+		case <-time.After(time.Millisecond):
+			return idx, nil
+		}
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if n := atomic.LoadInt32(&done); n == 1000 {
+		t.Fatal("cancellation did not stop the sweep")
+	}
+}
+
+// TestMapPanicPropagates checks a worker panic resurfaces on the caller's
+// goroutine after the pool has fully stopped (no detached goroutine death,
+// no write to results racing the re-panic).
+func TestMapPanicPropagates(t *testing.T) {
+	for _, w := range []int{1, 4} {
+		func() {
+			defer func() {
+				r := recover()
+				if r == nil {
+					t.Fatalf("workers=%d: panic swallowed", w)
+				}
+				if s, ok := r.(string); !ok || s != "kaboom" {
+					t.Fatalf("workers=%d: panic value mangled: %v", w, r)
+				}
+			}()
+			Map(context.Background(), w, make([]int, 16), func(_ context.Context, idx int, _ int) (int, error) {
+				if idx == 7 {
+					panic("kaboom")
+				}
+				return idx, nil
+			})
+		}()
+	}
+}
+
+// TestMapDeterministicAggregate runs the same workload at several worker
+// counts and requires the concatenated output to be byte-identical — the
+// property tablegen's table depends on.
+func TestMapDeterministicAggregate(t *testing.T) {
+	items := make([]int, 64)
+	for i := range items {
+		items[i] = i
+	}
+	run := func(w int) string {
+		out, err := Map(context.Background(), w, items, func(_ context.Context, idx int, item int) (string, error) {
+			return fmt.Sprintf("row %02d value %d\n", idx, item*item), nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		s := ""
+		for _, r := range out {
+			s += r
+		}
+		return s
+	}
+	want := run(1)
+	for _, w := range []int{2, 4, 16} {
+		if got := run(w); got != want {
+			t.Fatalf("workers=%d output differs from sequential", w)
+		}
+	}
+}

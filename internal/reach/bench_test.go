@@ -1,0 +1,68 @@
+package reach_test
+
+import (
+	"testing"
+
+	"repro/internal/bench"
+	"repro/internal/reach"
+)
+
+// BenchmarkReachFixpoint measures the full implicit-enumeration pipeline —
+// node-function construction, transition relation, AndExists/Permute image
+// iteration to the fixpoint — on embedded FSMs and ISCAS'89-profile
+// circuits. This is the Table-I hot path the BDD substrate serves; DESIGN.md
+// §8 records the speedup of the open-addressed tables against the original
+// map-based manager on exactly this benchmark.
+func BenchmarkReachFixpoint(b *testing.B) {
+	for _, name := range []string{"bbtas", "bbara", "s298", "s344"} {
+		b.Run(name, func(b *testing.B) {
+			c, ok := bench.ByName(name)
+			if !ok {
+				b.Fatalf("unknown circuit %s", name)
+			}
+			src, err := c.Build()
+			if err != nil {
+				b.Fatal(err)
+			}
+			var last *reach.Analysis
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				a, err := reach.Analyze(src, reach.DefaultLimits)
+				if err != nil {
+					b.Fatal(err)
+				}
+				last = a
+			}
+			b.ReportMetric(float64(last.Stats.Nodes), "bdd-nodes")
+			b.ReportMetric(float64(last.Depth), "depth")
+		})
+	}
+}
+
+var sinkCover interface{}
+
+// BenchmarkUnreachableDC measures the don't-care projection that the
+// retime+comb.opt flow applies per node after the fixpoint.
+func BenchmarkUnreachableDC(b *testing.B) {
+	c, ok := bench.ByName("bbara")
+	if !ok {
+		b.Fatal("bbara missing")
+	}
+	src, err := c.Build()
+	if err != nil {
+		b.Fatal(err)
+	}
+	a, err := reach.Analyze(src, reach.DefaultLimits)
+	if err != nil {
+		b.Fatal(err)
+	}
+	idx := make([]int, 0, len(src.Latches))
+	for i := range src.Latches {
+		idx = append(idx, i)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sinkCover = a.UnreachableDC(idx)
+	}
+}
