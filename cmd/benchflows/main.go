@@ -9,10 +9,19 @@
 // and reports are assembled in suite order, so the JSON document is
 // independent of worker count (up to wall-clock fields).
 //
+// With -reach-bench the command instead benchmarks the implicit state
+// enumeration itself: every selected circuit is analyzed twice — once with
+// the clustered-partitioned transition relation, once with the monolithic
+// one — and BENCH_reach.json records peak BDD nodes, frontier peaks,
+// cluster counts and wall time for both, plus the monolithic/partitioned
+// peak-node ratio.
+//
 // Usage:
 //
 //	benchflows [-out BENCH_flows.json] [-circuits ex2,bbtas,...] [-skip-large]
 //	           [-workers N] [-timeout 60s] [-pass-timeout 10s]
+//	           [-partition on|off] [-order topo|positional] [-partition-nodes N] [-reorder]
+//	           [-reach-bench] [-reach-out BENCH_reach.json]
 package main
 
 import (
@@ -31,6 +40,7 @@ import (
 	"repro/internal/guard"
 	"repro/internal/obs"
 	"repro/internal/parexec"
+	"repro/internal/reach"
 )
 
 type flowMetrics struct {
@@ -65,7 +75,19 @@ func main() {
 	workers := flag.Int("workers", 0, "parallel circuit evaluations (<=0 = GOMAXPROCS)")
 	timeout := flag.Duration("timeout", 0, "wall-clock budget per flow; a circuit exceeding it reports a typed error instead of hanging the sweep (0 = unbounded)")
 	passTimeout := flag.Duration("pass-timeout", 0, "wall-clock budget per pass within a flow (0 = unbounded)")
+	partition := flag.String("partition", "on", "partitioned transition relations for state enumeration: on | off")
+	order := flag.String("order", "topo", "BDD variable order: topo | positional")
+	partitionNodes := flag.Int("partition-nodes", 0, "cluster node-size threshold for -partition on (0 = default)")
+	reorder := flag.Bool("reorder", false, "enable dynamic BDD variable reordering (sifting) on node-count blowup")
+	reachBench := flag.Bool("reach-bench", false, "benchmark partitioned vs monolithic reachability instead of the flows")
+	reachOut := flag.String("reach-out", "BENCH_reach.json", "output JSON file for -reach-bench")
 	flag.Parse()
+
+	reachLim, err := reach.FlagLimits(reach.DefaultLimits, *partition, *order, *partitionNodes, *reorder)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchflows:", err)
+		os.Exit(1)
+	}
 
 	suite := bench.TableI()
 	if *circuitsFlag != "" {
@@ -81,12 +103,17 @@ func main() {
 		suite = filtered
 	}
 
-	lib := genlib.Lib2()
 	budget := guard.Budget{Flow: *timeout, Pass: *passTimeout}
+	if *reachBench {
+		runReachBench(suite, reachLim, budget, *workers, *skipLarge, *reachOut)
+		return
+	}
+
+	lib := genlib.Lib2()
 	rep := benchReport{Schema: "bench_flows/v1"}
 	reports, err := parexec.Map(context.Background(), *workers, suite,
 		func(_ context.Context, _ int, c bench.Circuit) (circuitReport, error) {
-			return runCircuit(c, lib, budget, *skipLarge), nil
+			return runCircuit(c, lib, budget, reachLim, *skipLarge), nil
 		})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "benchflows:", err)
@@ -119,7 +146,7 @@ func main() {
 	fmt.Printf("wrote %s (%d circuits)\n", *out, len(rep.Circuits))
 }
 
-func runCircuit(c bench.Circuit, lib *genlib.Library, budget guard.Budget, skipLarge bool) circuitReport {
+func runCircuit(c bench.Circuit, lib *genlib.Library, budget guard.Budget, lim reach.Limits, skipLarge bool) circuitReport {
 	cr := circuitReport{Circuit: c.Name, Flows: map[string]flowMetrics{}}
 	src, err := c.Build()
 	if err != nil {
@@ -136,7 +163,7 @@ func runCircuit(c bench.Circuit, lib *genlib.Library, budget guard.Budget, skipL
 	tr := obs.NewJSON(&buf)
 	start := time.Now()
 	sd, ret, rsyn, err := flows.RunAllCtx(context.Background(), src, lib,
-		flows.Config{Tracer: tr, Budget: budget})
+		flows.Config{Tracer: tr, Budget: budget, Reach: lim})
 	cr.WallMS = float64(time.Since(start)) / float64(time.Millisecond)
 	if err != nil {
 		cr.Error = err.Error()
@@ -165,4 +192,129 @@ func runCircuit(c bench.Circuit, lib *genlib.Library, budget guard.Budget, skipL
 
 func asMetrics(r *flows.Result) flowMetrics {
 	return flowMetrics{Regs: r.Regs, Clk: r.Clk, Area: r.Area, Note: r.Note, PrefixK: r.PrefixK}
+}
+
+// --- reach benchmark mode ---
+
+type reachModeReport struct {
+	PeakNodes    int     `json:"peak_bdd_nodes"`
+	FrontierPeak int     `json:"frontier_peak_nodes"`
+	Clusters     int     `json:"clusters"`
+	ScheduleLen  int     `json:"quant_schedule_len"`
+	SiftSwaps    int64   `json:"sift_swaps,omitempty"`
+	WallMS       float64 `json:"wall_ms"`
+	Error        string  `json:"error,omitempty"`
+}
+
+type reachCircuitReport struct {
+	Circuit     string          `json:"circuit"`
+	Latches     int             `json:"latches"`
+	Depth       int             `json:"depth"`
+	States      float64         `json:"reachable_states,omitempty"`
+	Partitioned reachModeReport `json:"partitioned"`
+	Monolithic  reachModeReport `json:"monolithic"`
+	// PeakRatio is monolithic peak nodes / partitioned peak nodes; > 1
+	// means partitioning reduced the peak.
+	PeakRatio float64 `json:"peak_node_ratio,omitempty"`
+	Skipped   bool    `json:"skipped,omitempty"`
+	Error     string  `json:"error,omitempty"`
+}
+
+type reachBenchReport struct {
+	Schema   string               `json:"schema"`
+	Circuits []reachCircuitReport `json:"circuits"`
+}
+
+// runReachBench analyzes every circuit twice — partitioned and monolithic
+// transition relation, same variable order — and writes the comparison.
+func runReachBench(suite []bench.Circuit, lim reach.Limits, budget guard.Budget, workers int, skipLarge bool, out string) {
+	reports, err := parexec.Map(context.Background(), workers, suite,
+		func(_ context.Context, _ int, c bench.Circuit) (reachCircuitReport, error) {
+			return reachBenchCircuit(c, lim, budget, skipLarge), nil
+		})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchflows:", err)
+		os.Exit(1)
+	}
+	rep := reachBenchReport{Schema: "bench_reach/v1"}
+	for _, cr := range reports {
+		rep.Circuits = append(rep.Circuits, cr)
+		status := "ok"
+		switch {
+		case cr.Skipped:
+			status = "skipped"
+		case cr.Error != "":
+			status = "FAILED: " + cr.Error
+		case cr.PeakRatio > 0:
+			status = fmt.Sprintf("peak %d vs %d nodes (%.2fx), depth %d",
+				cr.Partitioned.PeakNodes, cr.Monolithic.PeakNodes, cr.PeakRatio, cr.Depth)
+		}
+		fmt.Printf("%-10s %s\n", cr.Circuit, status)
+	}
+	f, err := os.Create(out)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchflows:", err)
+		os.Exit(1)
+	}
+	defer f.Close()
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(rep); err != nil {
+		fmt.Fprintln(os.Stderr, "benchflows:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("wrote %s (%d circuits)\n", out, len(rep.Circuits))
+}
+
+func reachBenchCircuit(c bench.Circuit, lim reach.Limits, budget guard.Budget, skipLarge bool) reachCircuitReport {
+	cr := reachCircuitReport{Circuit: c.Name}
+	src, err := c.Build()
+	if err != nil {
+		cr.Error = err.Error()
+		return cr
+	}
+	cr.Latches = len(src.Latches)
+	if skipLarge && src.NumLogicNodes() > 1000 {
+		cr.Skipped = true
+		return cr
+	}
+	run := func(mode reach.ImageMode) reachModeReport {
+		mr := reachModeReport{}
+		ml := lim
+		ml.Image = mode
+		ctx := context.Background()
+		if budget.Flow > 0 {
+			var cancel context.CancelFunc
+			ctx, cancel = context.WithTimeout(ctx, budget.Flow)
+			defer cancel()
+		}
+		tr := obs.New()
+		start := time.Now()
+		a, err := reach.AnalyzeCtx(ctx, src, ml, tr)
+		mr.WallMS = float64(time.Since(start)) / float64(time.Millisecond)
+		cnt := tr.Counters()
+		mr.Clusters = int(cnt["reach_clusters"])
+		mr.ScheduleLen = int(cnt["reach_quant_schedule_len"])
+		if err != nil {
+			mr.Error = err.Error()
+			return mr
+		}
+		mr.PeakNodes = a.Stats.PeakNodes
+		mr.FrontierPeak = a.FrontierPeakNodes
+		mr.SiftSwaps = a.Stats.SiftSwaps
+		if cr.Depth == 0 {
+			cr.Depth = a.Depth
+			cr.States = a.NumReachable()
+		}
+		return mr
+	}
+	cr.Partitioned = run(reach.ImagePartitioned)
+	cr.Monolithic = run(reach.ImageMonolithic)
+	if cr.Partitioned.Error != "" && cr.Monolithic.Error != "" {
+		cr.Error = cr.Partitioned.Error
+	}
+	if cr.Partitioned.PeakNodes > 0 && cr.Monolithic.PeakNodes > 0 {
+		cr.PeakRatio = float64(cr.Monolithic.PeakNodes) / float64(cr.Partitioned.PeakNodes)
+	}
+	return cr
 }

@@ -6,6 +6,7 @@
 //
 //	resyn -in circuit.blif [-kiss] [-flow script|retime|resyn|core] [-out out.blif] [-verify]
 //	      [-timeout 30s] [-pass-timeout 5s] [-trace] [-stats-json events.jsonl]
+//	      [-partition on|off] [-order topo|positional] [-partition-nodes N] [-reorder]
 package main
 
 import (
@@ -23,6 +24,7 @@ import (
 	"repro/internal/kiss"
 	"repro/internal/network"
 	"repro/internal/obs"
+	"repro/internal/reach"
 	"repro/internal/seqverify"
 	"repro/internal/sim"
 	"repro/internal/timing"
@@ -38,10 +40,18 @@ func main() {
 	statsJSON := flag.String("stats-json", "", "write the JSON-lines trace event stream to this file")
 	timeout := flag.Duration("timeout", 0, "wall-clock budget per flow; exceeding it degrades or fails with a typed error (0 = unbounded)")
 	passTimeout := flag.Duration("pass-timeout", 0, "wall-clock budget per pass within a flow (0 = unbounded)")
+	partition := flag.String("partition", "on", "partitioned transition relations for state enumeration: on | off")
+	order := flag.String("order", "topo", "BDD variable order: topo | positional")
+	partitionNodes := flag.Int("partition-nodes", 0, "cluster node-size threshold for -partition on (0 = default)")
+	reorder := flag.Bool("reorder", false, "enable dynamic BDD variable reordering (sifting) on node-count blowup")
 	flag.Parse()
 	if *in == "" {
 		flag.Usage()
 		os.Exit(2)
+	}
+	reachLim, err := reach.FlagLimits(reach.DefaultLimits, *partition, *order, *partitionNodes, *reorder)
+	if err != nil {
+		fatal(err)
 	}
 	var tr *obs.Tracer
 	if *trace || *statsJSON != "" {
@@ -84,6 +94,7 @@ func main() {
 	cfg := flows.Config{
 		Tracer: tr,
 		Budget: guard.Budget{Flow: *timeout, Pass: *passTimeout},
+		Reach:  reachLim,
 	}
 	var result *flows.Result
 	switch *flow {
@@ -135,7 +146,7 @@ func main() {
 	}
 
 	if *verify {
-		err := seqverify.Equivalent(src, result.Net, seqverify.Options{Delay: result.PrefixK})
+		err := seqverify.Equivalent(src, result.Net, seqverify.Options{Delay: result.PrefixK, Limits: reachLim})
 		switch {
 		case err == nil:
 			fmt.Println("verify: exact product-machine equivalence PASSED")

@@ -4,6 +4,7 @@
 // Usage:
 //
 //	retime -in circuit.blif [-minarea -period 3.0] [-out out.blif]
+//	       [-partition on|off] [-order topo|positional] [-partition-nodes N] [-reorder]
 package main
 
 import (
@@ -12,6 +13,7 @@ import (
 	"os"
 
 	"repro/internal/blif"
+	"repro/internal/reach"
 	"repro/internal/retime"
 	"repro/internal/seqverify"
 	"repro/internal/sim"
@@ -23,10 +25,18 @@ func main() {
 	period := flag.Float64("period", 0, "clock target for -minarea (0 = current period)")
 	out := flag.String("out", "", "output BLIF file")
 	verify := flag.Bool("verify", true, "verify the result against the input")
+	partition := flag.String("partition", "on", "partitioned transition relations for exact verification: on | off")
+	order := flag.String("order", "topo", "BDD variable order: topo | positional")
+	partitionNodes := flag.Int("partition-nodes", 0, "cluster node-size threshold for -partition on (0 = default)")
+	reorder := flag.Bool("reorder", false, "enable dynamic BDD variable reordering (sifting) on node-count blowup")
 	flag.Parse()
 	if *in == "" {
 		flag.Usage()
 		os.Exit(2)
+	}
+	reachLim, err := reach.FlagLimits(reach.DefaultLimits, *partition, *order, *partitionNodes, *reorder)
+	if err != nil {
+		fatal(err)
 	}
 	f, err := os.Open(*in)
 	if err != nil {
@@ -67,7 +77,7 @@ func main() {
 		result = ret
 	}
 	if *verify {
-		err := seqverify.Equivalent(src, result, seqverify.Options{})
+		err := seqverify.Equivalent(src, result, seqverify.Options{Limits: reachLim})
 		switch {
 		case err == nil:
 			fmt.Println("verify: exact equivalence PASSED")

@@ -13,6 +13,7 @@
 //	tablegen [-circuits ex2,bbtas,...] [-verify] [-skip-large] [-workers N]
 //	         [-times] [-timeout 60s] [-pass-timeout 10s] [-trace]
 //	         [-stats-json events.jsonl]
+//	         [-partition on|off] [-order topo|positional] [-partition-nodes N] [-reorder]
 package main
 
 import (
@@ -24,6 +25,7 @@ import (
 
 	"repro/internal/guard"
 	"repro/internal/obs"
+	"repro/internal/reach"
 	"repro/internal/table"
 )
 
@@ -37,14 +39,24 @@ func main() {
 	statsJSON := flag.String("stats-json", "", "write the JSON-lines trace event stream to this file")
 	timeout := flag.Duration("timeout", 0, "wall-clock budget per flow; a circuit exceeding it reports a typed error instead of stalling the table (0 = unbounded)")
 	passTimeout := flag.Duration("pass-timeout", 0, "wall-clock budget per pass within a flow (0 = unbounded)")
+	partition := flag.String("partition", "on", "partitioned transition relations for state enumeration: on | off")
+	order := flag.String("order", "topo", "BDD variable order: topo | positional")
+	partitionNodes := flag.Int("partition-nodes", 0, "cluster node-size threshold for -partition on (0 = default)")
+	reorder := flag.Bool("reorder", false, "enable dynamic BDD variable reordering (sifting) on node-count blowup")
 	flag.Parse()
 
+	reachLim, err := reach.FlagLimits(reach.DefaultLimits, *partition, *order, *partitionNodes, *reorder)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "tablegen:", err)
+		os.Exit(1)
+	}
 	opt := table.Options{
 		Verify:    *verify,
 		SkipLarge: *skipLarge,
 		Workers:   *workers,
 		ShowTimes: *times,
 		Budget:    guard.Budget{Flow: *timeout, Pass: *passTimeout},
+		Reach:     reachLim,
 	}
 	if *circuitsFlag != "" {
 		opt.Circuits = strings.Split(*circuitsFlag, ",")
@@ -62,7 +74,7 @@ func main() {
 		opt.JSON = jf
 	}
 
-	_, err := table.Run(context.Background(), os.Stdout, os.Stderr, opt)
+	_, err = table.Run(context.Background(), os.Stdout, os.Stderr, opt)
 	if *trace {
 		fmt.Println()
 		opt.Tracer.WriteTree(os.Stdout)

@@ -70,16 +70,27 @@ type Manager struct {
 	numVars int
 	nodes   []node
 
+	// Variable order: node levels index positions in the order, not
+	// variables. var2level[v] is the level holding variable v; level2var is
+	// its inverse. The identity order reproduces the historical layout;
+	// SetOrder installs a static order and Sift adjusts it dynamically.
+	var2level []int
+	level2var []int
+
 	// Unique table: open-addressed, power-of-two sized buckets holding node
-	// refs (0 = empty; terminals are never entered). During a rehash the
-	// previous table is drained incrementally: `old` stays read-only while
-	// mk migrates migrateStep buckets per call, so no single operation pays
-	// a full-table rehash stall.
+	// refs (0 = empty, tombstone = deleted; terminals are never entered).
+	// During a rehash the previous table is drained incrementally: `old`
+	// stays read-only while mk migrates migrateStep buckets per call, so no
+	// single operation pays a full-table rehash stall. Tombstones appear
+	// only during reordering (deleteRef) and are reclaimed by inserts and
+	// rehashes.
 	table      []Ref
 	tabEntries int
+	tombstones int
 	old        []Ref
 	oldPos     int
 	rehashes   int
+	siftSwaps  int64
 
 	// Computed table: direct-mapped lossy cache over (op, f, g, h).
 	cache     []cacheEntry
@@ -117,6 +128,7 @@ type Stats struct {
 	CacheCap    int     // computed-table slot count
 	CacheHits   int64
 	CacheMisses int64
+	SiftSwaps   int64 // adjacent-level swaps performed by Sift
 }
 
 // Stats returns the current table accounting.
@@ -137,6 +149,7 @@ func (m *Manager) Stats() Stats {
 		CacheCap:    len(m.cache),
 		CacheHits:   m.cacheHits,
 		CacheMisses: m.cacheMisses,
+		SiftSwaps:   m.siftSwaps,
 	}
 }
 
@@ -152,17 +165,53 @@ var ErrNodeLimit = fmt.Errorf("bdd: node limit exceeded")
 const terminalLevel = int32(1) << 30
 
 // New creates a manager for n variables. The node pool and both tables are
-// preallocated so early operations never pay growth stalls.
+// preallocated so early operations never pay growth stalls. The initial
+// variable order is the identity (variable v at level v).
 func New(n int) *Manager {
 	m := &Manager{
-		numVars: n,
-		nodes:   make([]node, 2, 1<<12),
-		table:   make([]Ref, initialTableSize),
-		cache:   make([]cacheEntry, initialCacheSize),
+		numVars:   n,
+		nodes:     make([]node, 2, 1<<12),
+		table:     make([]Ref, initialTableSize),
+		cache:     make([]cacheEntry, initialCacheSize),
+		var2level: make([]int, n),
+		level2var: make([]int, n),
+	}
+	for v := 0; v < n; v++ {
+		m.var2level[v] = v
+		m.level2var[v] = v
 	}
 	m.nodes[0] = node{level: terminalLevel} // False
 	m.nodes[1] = node{level: terminalLevel} // True
 	return m
+}
+
+// SetOrder installs a static variable order: order[k] is the variable
+// placed at level k (level 0 is the root). It must be a permutation of
+// [0, NumVars) and must be called before any non-terminal node exists —
+// typically right after New, once the caller has derived an order from
+// problem structure.
+func (m *Manager) SetOrder(order []int) {
+	if len(m.nodes) != 2 {
+		panic("bdd: SetOrder after nodes were created")
+	}
+	if len(order) != m.numVars {
+		panic(fmt.Sprintf("bdd: SetOrder with %d entries for %d variables", len(order), m.numVars))
+	}
+	seen := make([]bool, m.numVars)
+	for lvl, v := range order {
+		if v < 0 || v >= m.numVars || seen[v] {
+			panic(fmt.Sprintf("bdd: SetOrder order is not a permutation (entry %d = %d)", lvl, v))
+		}
+		seen[v] = true
+		m.level2var[lvl] = v
+		m.var2level[v] = lvl
+	}
+}
+
+// Order returns the current variable order: element k is the variable at
+// level k. The slice is a copy.
+func (m *Manager) Order() []int {
+	return append([]int(nil), m.level2var...)
 }
 
 // NumVars returns the variable count.
@@ -182,9 +231,14 @@ func hash3(level int32, lo, hi Ref) uint32 {
 	return h
 }
 
+// tombstone marks a deleted unique-table slot. Valid entries are >= 2
+// (terminals never enter the table), so probes distinguish empty (0),
+// deleted (tombstone), and live buckets.
+const tombstone Ref = -1
+
 // migrate drains up to migrateStep buckets of the old unique table into the
 // current one. Entries live in exactly one table, so reinsertion cannot
-// duplicate.
+// duplicate. Tombstones left behind by a reorder are dropped.
 func (m *Manager) migrate() {
 	if m.old == nil {
 		return
@@ -194,7 +248,7 @@ func (m *Manager) migrate() {
 		end = len(m.old)
 	}
 	for ; m.oldPos < end; m.oldPos++ {
-		if r := m.old[m.oldPos]; r != 0 {
+		if r := m.old[m.oldPos]; r > 1 {
 			m.insertRef(r)
 		}
 	}
@@ -203,17 +257,48 @@ func (m *Manager) migrate() {
 	}
 }
 
-// insertRef places an existing node into the current table (no existence
-// check: callers guarantee the node is not already present).
+// finishMigration drains any in-progress incremental rehash completely, so
+// the current table is the single source of truth. Required before entries
+// can be deleted (level swaps must see every node of the two levels).
+func (m *Manager) finishMigration() {
+	for m.old != nil {
+		m.migrate()
+	}
+}
+
+// insertRef places an existing node into the current table, reusing the
+// first tombstone on its probe path (no existence check: callers guarantee
+// the node is not already present).
 func (m *Manager) insertRef(r Ref) {
 	n := &m.nodes[r]
 	mask := uint32(len(m.table) - 1)
 	i := hash3(n.level, n.lo, n.hi) & mask
-	for m.table[i] != 0 {
+	for m.table[i] != 0 && m.table[i] != tombstone {
 		i = (i + 1) & mask
+	}
+	if m.table[i] == tombstone {
+		m.tombstones--
 	}
 	m.table[i] = r
 	m.tabEntries++
+}
+
+// deleteRef removes a node from the current table, leaving a tombstone so
+// longer probe chains stay intact. The caller must have finished any
+// incremental migration first. Used only by level swaps.
+func (m *Manager) deleteRef(r Ref) {
+	n := &m.nodes[r]
+	mask := uint32(len(m.table) - 1)
+	i := hash3(n.level, n.lo, n.hi) & mask
+	for m.table[i] != r {
+		if m.table[i] == 0 {
+			panic("bdd: deleteRef of a node not in the unique table")
+		}
+		i = (i + 1) & mask
+	}
+	m.table[i] = tombstone
+	m.tabEntries--
+	m.tombstones++
 }
 
 // grow doubles the unique table. The full old table is kept read-only and
@@ -221,9 +306,8 @@ func (m *Manager) insertRef(r Ref) {
 func (m *Manager) grow() {
 	if m.old != nil {
 		// A rehash is still draining; finish it before starting another.
-		m.oldPos = 0
 		for _, r := range m.old[m.oldPos:] {
-			if r != 0 {
+			if r > 1 {
 				m.insertRef(r)
 			}
 		}
@@ -233,6 +317,7 @@ func (m *Manager) grow() {
 	m.oldPos = 0
 	m.table = make([]Ref, 2*len(m.table))
 	m.tabEntries = 0
+	m.tombstones = 0
 	m.rehashes++
 }
 
@@ -244,10 +329,18 @@ func (m *Manager) mk(level int32, lo, hi Ref) Ref {
 	h := hash3(level, lo, hi)
 	mask := uint32(len(m.table) - 1)
 	i := h & mask
+	ins := uint32(1) << 31 // first tombstone on the probe path, if any
 	for {
 		r := m.table[i]
 		if r == 0 {
 			break
+		}
+		if r == tombstone {
+			if ins == uint32(1)<<31 {
+				ins = i
+			}
+			i = (i + 1) & mask
+			continue
 		}
 		n := &m.nodes[r]
 		if n.level == level && n.lo == lo && n.hi == hi {
@@ -263,9 +356,11 @@ func (m *Manager) mk(level int32, lo, hi Ref) Ref {
 			if r == 0 {
 				break
 			}
-			n := &m.nodes[r]
-			if n.level == level && n.lo == lo && n.hi == hi {
-				return r
+			if r != tombstone {
+				n := &m.nodes[r]
+				if n.level == level && n.lo == lo && n.hi == hi {
+					return r
+				}
 			}
 			j = (j + 1) & omask
 		}
@@ -273,14 +368,20 @@ func (m *Manager) mk(level int32, lo, hi Ref) Ref {
 	if m.MaxNodes > 0 && len(m.nodes) >= m.MaxNodes {
 		panic(ErrNodeLimit)
 	}
+	if ins != uint32(1)<<31 {
+		i = ins
+		m.tombstones--
+	}
 	r := Ref(len(m.nodes))
 	m.nodes = append(m.nodes, node{level: level, lo: lo, hi: hi})
 	m.table[i] = r
 	m.tabEntries++
-	// Grow at 3/4 load. Migration drains far faster than fresh inserts can
-	// refill, so the draining table is always empty well before this fires
-	// again (the grow() drain loop is a safety net, not the common path).
-	if m.tabEntries*4 >= len(m.table)*3 {
+	// Grow at 3/4 load (tombstones count: they lengthen probe chains just
+	// like live entries). Migration drains far faster than fresh inserts
+	// can refill, so the draining table is always empty well before this
+	// fires again (the grow() drain loop is a safety net, not the common
+	// path).
+	if (m.tabEntries+m.tombstones)*4 >= len(m.table)*3 {
 		m.grow()
 	}
 	return r
@@ -365,12 +466,15 @@ func (m *Manager) Var(v int) Ref {
 	if v < 0 || v >= m.numVars {
 		panic(fmt.Sprintf("bdd: variable %d out of range", v))
 	}
-	return m.mk(int32(v), False, True)
+	return m.mk(int32(m.var2level[v]), False, True)
 }
 
 // NVar returns the BDD of ¬v.
 func (m *Manager) NVar(v int) Ref {
-	return m.mk(int32(v), True, False)
+	if v < 0 || v >= m.numVars {
+		panic(fmt.Sprintf("bdd: variable %d out of range", v))
+	}
+	return m.mk(int32(m.var2level[v]), True, False)
 }
 
 func (m *Manager) level(f Ref) int32 { return m.nodes[f].level }
@@ -461,12 +565,13 @@ func (m *Manager) Exists(f Ref, vars []bool) Ref {
 // varsCube builds a positive cube over the marked variables, used as the
 // quantification schedule and as a cache tag. Cubes are canonical BDDs, so
 // two quantifications over the same variable set share cache entries and
-// can never alias entries of a different cube.
+// can never alias entries of a different cube. The cube is assembled in
+// level order (bottom-up), so it stays canonical under any variable order.
 func (m *Manager) varsCube(vars []bool) Ref {
 	cube := True
-	for v := m.numVars - 1; v >= 0; v-- {
-		if v < len(vars) && vars[v] {
-			cube = m.mk(int32(v), False, cube)
+	for lvl := m.numVars - 1; lvl >= 0; lvl-- {
+		if v := m.level2var[lvl]; v < len(vars) && vars[v] {
+			cube = m.mk(int32(lvl), False, cube)
 		}
 	}
 	return cube
@@ -601,23 +706,51 @@ func (m *Manager) permute(f Ref, perm []int, tag Ref) Ref {
 	n := m.nodes[f]
 	lo := m.permute(n.lo, perm, tag)
 	hi := m.permute(n.hi, perm, tag)
-	v := perm[n.level]
+	v := perm[m.level2var[n.level]]
 	r := m.Ite(m.Var(v), hi, lo)
 	m.cachePut(opPermute, f, tag, 0, r)
 	return r
 }
 
-// Eval evaluates f under a complete assignment.
+// Eval evaluates f under a complete assignment (indexed by variable).
 func (m *Manager) Eval(f Ref, assign []bool) bool {
 	for f != True && f != False {
 		n := m.nodes[f]
-		if assign[n.level] {
+		if assign[m.level2var[n.level]] {
 			f = n.hi
 		} else {
 			f = n.lo
 		}
 	}
 	return f == True
+}
+
+// Support returns a mask over variables marking the support of f (the
+// variables f depends on).
+func (m *Manager) Support(f Ref) []bool {
+	sup := make([]bool, m.numVars)
+	if f == True || f == False {
+		return sup
+	}
+	if len(m.visited) < len(m.nodes) {
+		m.visited = make([]uint32, len(m.nodes)+len(m.nodes)/2)
+		m.visitEpoch = 0
+	}
+	m.visitEpoch++
+	epoch := m.visitEpoch
+	var walk func(Ref)
+	walk = func(g Ref) {
+		if g == True || g == False || m.visited[g] == epoch {
+			return
+		}
+		m.visited[g] = epoch
+		n := m.nodes[g]
+		sup[m.level2var[n.level]] = true
+		walk(n.lo)
+		walk(n.hi)
+	}
+	walk(f)
+	return sup
 }
 
 // SatCount returns the number of satisfying assignments over all NumVars
@@ -666,10 +799,10 @@ func (m *Manager) PickCube(f Ref) []logic.Lit {
 	for f != True {
 		n := m.nodes[f]
 		if n.hi != False {
-			out[n.level] = logic.LitPos
+			out[m.level2var[n.level]] = logic.LitPos
 			f = n.hi
 		} else {
-			out[n.level] = logic.LitNeg
+			out[m.level2var[n.level]] = logic.LitNeg
 			f = n.lo
 		}
 	}
@@ -695,6 +828,9 @@ func (m *Manager) FromCover(f *logic.Cover, varMap []int) Ref {
 			case logic.LitNone:
 				cube = False
 			}
+			if cube == False {
+				break // a void literal (or contradiction) kills the cube
+			}
 		}
 		r = m.Or(r, cube)
 	}
@@ -717,10 +853,10 @@ func (m *Manager) ToCover(f Ref, n int) *logic.Cover {
 		}
 		nd := m.nodes[f]
 		lo := c.Clone()
-		lo.SetLit(int(nd.level), logic.LitNeg)
+		lo.SetLit(m.level2var[nd.level], logic.LitNeg)
 		walk(nd.lo, lo)
 		hi := c.Clone()
-		hi.SetLit(int(nd.level), logic.LitPos)
+		hi.SetLit(m.level2var[nd.level], logic.LitPos)
 		walk(nd.hi, hi)
 	}
 	walk(f, cur)

@@ -1,0 +1,297 @@
+// Dynamic variable reordering: an in-place adjacent-level swap primitive
+// and a Rudell-style sifting pass over it.
+//
+// The swap follows the classic invariant (Rudell, ICCAD'93): every existing
+// Ref keeps denoting the same boolean function across a swap, because nodes
+// at the upper level that depend on the lower variable are restructured in
+// place (their Ref is preserved, their children are rebuilt), nodes that do
+// not are simply relabeled to the other level, and reduction/uniqueness are
+// re-established through the unique table. Since this package never frees
+// nodes, liveness for the sifting size metric comes from the caller: Sift
+// takes the set of externally held roots and minimizes, via session-local
+// reference counting, the node count reachable from them. The computed
+// table stays valid across swaps — its entries relate Refs, and every
+// Ref's denotation is preserved.
+package bdd
+
+// SiftResult reports one sifting pass.
+type SiftResult struct {
+	// Swaps is the number of adjacent-level swaps performed.
+	Swaps int
+	// BeforeNodes / AfterNodes are the node counts reachable from the
+	// roots before and after the pass.
+	BeforeNodes, AfterNodes int
+}
+
+// siftMaxGrowth stops sifting a variable further in one direction once the
+// metric exceeds this multiple of the best size seen for it.
+const siftMaxGrowth = 2
+
+// Sift reduces the live node count by sifting variables: each variable (in
+// decreasing order of its level's population) is moved through the order by
+// adjacent swaps and parked at the position minimizing the number of nodes
+// reachable from roots. roots must list every Ref the caller still holds —
+// any node unreachable from them may be treated as garbage. maxSwaps bounds
+// the total swap budget (<= 0 selects a default proportional to the
+// variable count).
+func (m *Manager) Sift(roots []Ref, maxSwaps int) SiftResult {
+	nv := m.numVars
+	if nv < 2 {
+		return SiftResult{}
+	}
+	if maxSwaps <= 0 {
+		maxSwaps = 64 * nv
+	}
+	m.finishMigration()
+	// Swaps may allocate transient nodes; the node budget is a resource
+	// control for operator growth, not for reordering, and a mid-swap panic
+	// would leave the tables inconsistent.
+	savedMax := m.MaxNodes
+	m.MaxNodes = 0
+	defer func() { m.MaxNodes = savedMax }()
+
+	s := newSiftSession(m, roots)
+	before := s.total
+	budget := maxSwaps
+
+	// Process variables by population of their current level, densest
+	// first, against a snapshot of the populations (sifting one variable
+	// shifts others' levels, not their relative worth).
+	type cand struct{ v, pop int }
+	cands := make([]cand, 0, nv)
+	for lvl := 0; lvl < nv; lvl++ {
+		if p := s.pop[lvl]; p > 0 {
+			cands = append(cands, cand{m.level2var[lvl], p})
+		}
+	}
+	for i := 1; i < len(cands); i++ { // insertion sort: stable, deterministic
+		for j := i; j > 0 && cands[j-1].pop < cands[j].pop; j-- {
+			cands[j-1], cands[j] = cands[j], cands[j-1]
+		}
+	}
+
+	swaps := 0
+	for _, c := range cands {
+		if budget <= 0 {
+			break
+		}
+		start := m.var2level[c.v]
+		best, bestLvl := s.total, start
+		// Sift toward the nearer end first, then sweep to the other end;
+		// finish by walking back to the best position seen.
+		down := start >= nv/2
+		for pass := 0; pass < 2; pass++ {
+			for budget > 0 {
+				lvl := m.var2level[c.v]
+				if down && lvl == nv-1 || !down && lvl == 0 {
+					break
+				}
+				if down {
+					s.swap(lvl)
+				} else {
+					s.swap(lvl - 1)
+				}
+				swaps++
+				budget--
+				if s.total < best {
+					best, bestLvl = s.total, m.var2level[c.v]
+				}
+				if s.total > best*siftMaxGrowth {
+					break
+				}
+			}
+			down = !down
+		}
+		for budget > 0 && m.var2level[c.v] != bestLvl {
+			lvl := m.var2level[c.v]
+			if lvl < bestLvl {
+				s.swap(lvl)
+			} else {
+				s.swap(lvl - 1)
+			}
+			swaps++
+			budget--
+		}
+	}
+	return SiftResult{Swaps: swaps, BeforeNodes: before, AfterNodes: s.total}
+}
+
+// siftSession tracks per-level node lists (all nodes, garbage included, so
+// swaps preserve canonicity for every table entry) and a session-local
+// reference-counted live set for the size metric. The manager itself never
+// frees nodes, so "dead" here only means "excluded from the metric": when a
+// restructured node drops its old children and their last live parent goes
+// away, the metric shrinks — without this, sifting could never observe an
+// improvement and would park every variable where it started.
+type siftSession struct {
+	m       *Manager
+	byLevel [][]Ref
+	live    []bool
+	refs    []int32 // live-parent counts (+1 per appearance in roots)
+	pop     []int
+	total   int
+}
+
+func newSiftSession(m *Manager, roots []Ref) *siftSession {
+	s := &siftSession{
+		m:       m,
+		byLevel: make([][]Ref, m.numVars),
+		live:    make([]bool, len(m.nodes)),
+		refs:    make([]int32, len(m.nodes)),
+		pop:     make([]int, m.numVars),
+	}
+	for r := Ref(2); int(r) < len(m.nodes); r++ {
+		lvl := m.nodes[r].level
+		s.byLevel[lvl] = append(s.byLevel[lvl], r)
+	}
+	for _, r := range roots {
+		s.incRef(r)
+	}
+	return s
+}
+
+// isLive reports the liveness of r; refs allocated after the session
+// started are only live once incRef saw them.
+func (s *siftSession) isLive(r Ref) bool {
+	return int(r) < len(s.live) && s.live[r]
+}
+
+func (s *siftSession) ensure(f Ref) {
+	if int(f) >= len(s.live) {
+		grownL := make([]bool, len(s.m.nodes))
+		copy(grownL, s.live)
+		s.live = grownL
+		grownR := make([]int32, len(s.m.nodes))
+		copy(grownR, s.refs)
+		s.refs = grownR
+	}
+}
+
+// incRef records one more live parent of f, enlivening it (and transitively
+// its children) if this is its first.
+func (s *siftSession) incRef(f Ref) {
+	if f <= 1 {
+		return
+	}
+	s.ensure(f)
+	s.refs[f]++
+	if s.live[f] {
+		return
+	}
+	s.live[f] = true
+	s.pop[s.m.nodes[f].level]++
+	s.total++
+	s.incRef(s.m.nodes[f].lo)
+	s.incRef(s.m.nodes[f].hi)
+}
+
+// decRef drops one live parent of f; at zero the node dies and releases its
+// children.
+func (s *siftSession) decRef(f Ref) {
+	if f <= 1 {
+		return
+	}
+	s.refs[f]--
+	if s.refs[f] > 0 {
+		return
+	}
+	s.live[f] = false
+	s.pop[s.m.nodes[f].level]--
+	s.total--
+	s.decRef(s.m.nodes[f].lo)
+	s.decRef(s.m.nodes[f].hi)
+}
+
+// swap exchanges the variables at levels l and l+1, preserving the
+// denotation of every Ref. Upper-level nodes that do not depend on the
+// lower variable sink one level; lower-level nodes rise; upper-level nodes
+// that do depend are restructured in place with freshly hashed children.
+func (s *siftSession) swap(l int) {
+	m := s.m
+	m.finishMigration()
+	lv, lv1 := int32(l), int32(l+1)
+	vl, vl1 := s.byLevel[l], s.byLevel[l+1]
+
+	// Capture the four grandchild cofactors of every interacting node
+	// before any structure or level changes.
+	type quad struct{ r, oLo, oHi, f00, f01, f10, f11 Ref }
+	var inter []quad
+	var non []Ref
+	for _, r := range vl {
+		n := m.nodes[r]
+		i0 := m.nodes[n.lo].level == lv1
+		i1 := m.nodes[n.hi].level == lv1
+		if !i0 && !i1 {
+			non = append(non, r)
+			continue
+		}
+		q := quad{r: r, oLo: n.lo, oHi: n.hi, f00: n.lo, f01: n.lo, f10: n.hi, f11: n.hi}
+		if i0 {
+			q.f00, q.f01 = m.nodes[n.lo].lo, m.nodes[n.lo].hi
+		}
+		if i1 {
+			q.f10, q.f11 = m.nodes[n.hi].lo, m.nodes[n.hi].hi
+		}
+		inter = append(inter, q)
+	}
+
+	for _, r := range vl {
+		m.deleteRef(r)
+	}
+	for _, r := range vl1 {
+		m.deleteRef(r)
+	}
+
+	newL := make([]Ref, 0, len(vl1)+len(inter))
+	newL1 := make([]Ref, 0, len(non))
+	// Non-interacting upper nodes sink: same structure, one level lower.
+	for _, r := range non {
+		m.nodes[r].level = lv1
+		m.insertRef(r)
+		newL1 = append(newL1, r)
+		if s.isLive(r) {
+			s.pop[l]--
+			s.pop[l+1]++
+		}
+	}
+	// Lower-level nodes rise: their variable now owns the upper level.
+	for _, r := range vl1 {
+		m.nodes[r].level = lv
+		m.insertRef(r)
+		newL = append(newL, r)
+		if s.isLive(r) {
+			s.pop[l+1]--
+			s.pop[l]++
+		}
+	}
+	// Interacting nodes are restructured in place: (x: (y: f00,f01),
+	// (y: f10,f11)) becomes (y: (x: f00,f10), (x: f01,f11)). The Ref is
+	// preserved; the new children are canonicalized through the table
+	// (which already holds the sunk non-interacting nodes).
+	firstNew := Ref(len(m.nodes))
+	for _, q := range inter {
+		lo := m.mk(lv1, q.f00, q.f10)
+		hi := m.mk(lv1, q.f01, q.f11)
+		n := &m.nodes[q.r]
+		n.lo, n.hi = lo, hi
+		m.insertRef(q.r)
+		newL = append(newL, q.r)
+		if s.isLive(q.r) {
+			// Acquire the new children before releasing the old ones so
+			// shared nodes never transiently die.
+			s.incRef(lo)
+			s.incRef(hi)
+			s.decRef(q.oLo)
+			s.decRef(q.oHi)
+		}
+	}
+	for r := firstNew; int(r) < len(m.nodes); r++ {
+		newL1 = append(newL1, r)
+	}
+	s.byLevel[l], s.byLevel[l+1] = newL, newL1
+
+	x, y := m.level2var[l], m.level2var[l+1]
+	m.level2var[l], m.level2var[l+1] = y, x
+	m.var2level[x], m.var2level[y] = l+1, l
+	m.siftSwaps++
+}

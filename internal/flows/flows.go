@@ -85,6 +85,20 @@ type Config struct {
 	// smoke check (see guard.TxOptions).
 	SmokeCycles int
 	SmokeSeed   int64
+	// Reach bounds and configures the implicit state enumeration used for
+	// don't-care extraction and exact verification (image partitioning,
+	// variable order, reordering). The zero value takes
+	// reach.DefaultLimits.
+	Reach reach.Limits
+}
+
+// reachLimits resolves the configured reach limits, defaulting the zero
+// value.
+func (c Config) reachLimits() reach.Limits {
+	if c.Reach == (reach.Limits{}) {
+		return reach.DefaultLimits
+	}
+	return c.Reach
 }
 
 // fault consults the injector once for a pass invocation.
@@ -230,7 +244,7 @@ func RetimeCombOptCtx(ctx context.Context, mappedIn *network.Network, lib *genli
 	// Combinational optimization with retiming-induced external don't
 	// cares from implicit state enumeration (bounded; skipped when the
 	// state space is out of reach, as it was for SIS on large circuits).
-	lim := reach.DefaultLimits
+	lim := cfg.reachLimits()
 	dcFault := cfg.fault("reach.dc_extract")
 	if dcFault == guard.FaultBDDBlowup {
 		// Realized here rather than in the runner: blowup is a resource
@@ -499,7 +513,14 @@ func Verify(src *network.Network, r *Result) error {
 // traversal; a budget exhausted mid-proof surfaces as a typed guard error,
 // not as a verification failure.
 func VerifyCtx(ctx context.Context, src *network.Network, r *Result) error {
-	err := seqverify.EquivalentCtx(ctx, src, r.Net, seqverify.Options{Delay: r.PrefixK})
+	return VerifyCfg(ctx, src, r, Config{})
+}
+
+// VerifyCfg is VerifyCtx with the configuration's reach limits (image
+// partitioning, variable order, latch/node budgets) threaded into the
+// product-machine traversal.
+func VerifyCfg(ctx context.Context, src *network.Network, r *Result, cfg Config) error {
+	err := seqverify.EquivalentCtx(ctx, src, r.Net, seqverify.Options{Delay: r.PrefixK, Limits: cfg.reachLimits()})
 	if err == nil {
 		return nil
 	}

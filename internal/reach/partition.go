@@ -1,0 +1,385 @@
+// Partitioned transition relations with early quantification (Burch/Clarke/
+// Long; Ranjan et al. IWLS'95) and topology-driven static variable ordering.
+// Instead of materializing the monolithic ∏(next_i ↔ δ_i) — whose BDD is the
+// scalability wall the paper cites for implicit enumeration — the per-latch
+// relations are greedily clustered under a node-size threshold, the clusters
+// are ordered so that every variable is existentially quantified at the
+// first AndExists step after its last use, and the image is folded as a
+// chain of relational products that never builds the full conjunction.
+package reach
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/bdd"
+	"repro/internal/network"
+)
+
+// ImageMode selects how the image of a state set is computed.
+type ImageMode int
+
+const (
+	// ImageDefault resolves to ImagePartitioned.
+	ImageDefault ImageMode = iota
+	// ImagePartitioned chains AndExists over clustered per-latch relations
+	// with an early-quantification schedule.
+	ImagePartitioned
+	// ImageMonolithic conjoins all per-latch relations into one BDD and
+	// quantifies in a single AndExists (the historical behaviour).
+	ImageMonolithic
+)
+
+func (im ImageMode) String() string {
+	switch im {
+	case ImageMonolithic:
+		return "monolithic"
+	default:
+		return "partitioned"
+	}
+}
+
+// ParseImageMode parses a -partition flag value.
+func ParseImageMode(s string) (ImageMode, error) {
+	switch s {
+	case "", "on", "partitioned", "part":
+		return ImagePartitioned, nil
+	case "off", "monolithic", "mono":
+		return ImageMonolithic, nil
+	}
+	return 0, fmt.Errorf("reach: unknown partition mode %q (want on|off)", s)
+}
+
+// VarOrder selects the static variable order of the BDD manager.
+type VarOrder int
+
+const (
+	// OrderDefault resolves to OrderTopo.
+	OrderDefault VarOrder = iota
+	// OrderTopo derives latch and PI ranks from a fanin-DFS of the network,
+	// keeping each latch's current/next pair adjacent.
+	OrderTopo
+	// OrderPositional is the historical layout: latch i at levels 2i/2i+1,
+	// PIs after all latches, in declaration order.
+	OrderPositional
+)
+
+func (vo VarOrder) String() string {
+	switch vo {
+	case OrderPositional:
+		return "positional"
+	default:
+		return "topo"
+	}
+}
+
+// ParseVarOrder parses a -order flag value.
+func ParseVarOrder(s string) (VarOrder, error) {
+	switch s {
+	case "", "topo", "topological":
+		return OrderTopo, nil
+	case "positional", "pos":
+		return OrderPositional, nil
+	}
+	return 0, fmt.Errorf("reach: unknown variable order %q (want topo|positional)", s)
+}
+
+const (
+	// DefaultClusterNodes is the greedy clustering threshold: a cluster
+	// stops absorbing per-latch relations once its BDD exceeds this many
+	// nodes.
+	DefaultClusterNodes = 2000
+	// DefaultSiftNodes is the manager size at which the first dynamic
+	// reordering pass triggers when Limits.Reorder is set.
+	DefaultSiftNodes = 50_000
+)
+
+// FlagLimits resolves the shared CLI knob surface (-partition, -order,
+// -partition-nodes, -reorder) into Limits, starting from base (typically
+// DefaultLimits).
+func FlagLimits(base Limits, partition, order string, clusterNodes int, reorder bool) (Limits, error) {
+	im, err := ParseImageMode(partition)
+	if err != nil {
+		return Limits{}, err
+	}
+	vo, err := ParseVarOrder(order)
+	if err != nil {
+		return Limits{}, err
+	}
+	base.Image = im
+	base.Order = vo
+	if clusterNodes > 0 {
+		base.ClusterNodes = clusterNodes
+	}
+	base.Reorder = reorder
+	return base, nil
+}
+
+// TransRel is a (possibly partitioned) transition relation prepared for
+// image computation: an ordered list of cluster BDDs, a per-step
+// quantification schedule, and the next→current renaming.
+type TransRel struct {
+	clusters []bdd.Ref
+	sched    [][]bool // sched[k]: vars quantified by the k-th AndExists
+	pre      []bool   // quant vars in no cluster's support
+	preAny   bool
+	perm     []int
+
+	peakClusterNodes int
+	schedSteps       int
+}
+
+// BuildTransRel clusters the per-latch relations `parts` under the node
+// threshold and computes the early-quantification schedule for the
+// variables marked in quant; perm is the next→current renaming applied
+// after the chain. clusterNodes <= 0 requests the monolithic relation: one
+// cluster holding the full conjunction, quantified in a single step —
+// operation-for-operation the historical image computation.
+func BuildTransRel(m *bdd.Manager, parts []bdd.Ref, quant []bool, perm []int, clusterNodes int) *TransRel {
+	t := &TransRel{perm: perm}
+	if clusterNodes <= 0 {
+		rel := bdd.True
+		for _, p := range parts {
+			rel = m.And(rel, p)
+		}
+		t.clusters = []bdd.Ref{rel}
+		t.sched = [][]bool{quant}
+		t.schedSteps = 1
+		t.peakClusterNodes = m.NodeCount(rel)
+		return t
+	}
+
+	// Greedy sequential clustering: absorb relations in latch order while
+	// the conjunction stays under the threshold. Under the topology-driven
+	// variable order adjacent latches share structure, so neighbouring
+	// relations conjoin compactly.
+	var clusters []bdd.Ref
+	cur := bdd.Ref(-1)
+	for _, p := range parts {
+		if cur < 0 {
+			cur = p
+			continue
+		}
+		trial := m.And(cur, p)
+		if m.NodeCount(trial) <= clusterNodes {
+			cur = trial
+			continue
+		}
+		clusters = append(clusters, cur)
+		cur = p
+	}
+	if cur >= 0 {
+		clusters = append(clusters, cur)
+	}
+
+	// Per-cluster quantifiable support.
+	sup := make([][]bool, len(clusters))
+	for k, c := range clusters {
+		s := m.Support(c)
+		for v := range s {
+			s[v] = s[v] && v < len(quant) && quant[v]
+		}
+		sup[k] = s
+		if n := m.NodeCount(c); n > t.peakClusterNodes {
+			t.peakClusterNodes = n
+		}
+	}
+
+	// Order clusters greedily: at each step take the cluster with the most
+	// exclusive quantifiable variables (vars no other remaining cluster
+	// uses) — those are exactly the ones the step can quantify. Ties fall
+	// to the smaller support, then the lower index, keeping the choice
+	// deterministic.
+	nv := m.NumVars()
+	remaining := make([]int, len(clusters))
+	for i := range remaining {
+		remaining[i] = i
+	}
+	useCount := make([]int, nv) // among remaining clusters
+	supSize := make([]int, len(clusters))
+	for k := range clusters {
+		for v := 0; v < nv; v++ {
+			if sup[k][v] {
+				useCount[v]++
+				supSize[k]++
+			}
+		}
+	}
+	for len(remaining) > 0 {
+		best := 0
+		bestExcl, bestSize := -1, 0
+		for ri, k := range remaining {
+			excl := 0
+			for v := 0; v < nv; v++ {
+				if sup[k][v] && useCount[v] == 1 {
+					excl++
+				}
+			}
+			if excl > bestExcl || (excl == bestExcl && supSize[k] < bestSize) {
+				best, bestExcl, bestSize = ri, excl, supSize[k]
+			}
+		}
+		k := remaining[best]
+		remaining = append(remaining[:best], remaining[best+1:]...)
+		step := make([]bool, nv)
+		for v := 0; v < nv; v++ {
+			if sup[k][v] {
+				useCount[v]--
+				if useCount[v] == 0 {
+					step[v] = true
+				}
+			}
+		}
+		t.clusters = append(t.clusters, clusters[k])
+		t.sched = append(t.sched, step)
+		for v := 0; v < nv; v++ {
+			if step[v] {
+				t.schedSteps++
+				break
+			}
+		}
+	}
+
+	// Variables used by no cluster (a PI feeding no latch, a latch whose
+	// output drives nothing) are quantified from the state set up front.
+	t.pre = make([]bool, nv)
+	for v := 0; v < nv; v++ {
+		if v >= len(quant) || !quant[v] {
+			continue
+		}
+		used := false
+		for k := range sup {
+			if sup[k][v] {
+				used = true
+				break
+			}
+		}
+		if !used {
+			t.pre[v] = true
+			t.preAny = true
+		}
+	}
+	if t.preAny {
+		t.schedSteps++
+	}
+	return t
+}
+
+// Image computes the successor states of `from` under the relation,
+// renamed back to current-state variables.
+func (t *TransRel) Image(m *bdd.Manager, from bdd.Ref) bdd.Ref {
+	acc := from
+	if t.preAny {
+		acc = m.Exists(acc, t.pre)
+	}
+	for k, c := range t.clusters {
+		acc = m.AndExists(acc, c, t.sched[k])
+	}
+	return m.Permute(acc, t.perm)
+}
+
+// NumClusters returns the cluster count.
+func (t *TransRel) NumClusters() int { return len(t.clusters) }
+
+// ScheduleLen returns the number of image steps that quantify at least one
+// variable (including the pre-step for variables outside every cluster).
+func (t *TransRel) ScheduleLen() int { return t.schedSteps }
+
+// PeakClusterNodes returns the largest cluster BDD, in internal nodes.
+func (t *TransRel) PeakClusterNodes() int { return t.peakClusterNodes }
+
+// Roots returns the BDD refs the relation keeps alive, for use as dynamic-
+// reordering roots.
+func (t *TransRel) Roots() []bdd.Ref {
+	return append([]bdd.Ref(nil), t.clusters...)
+}
+
+// TopoLeafRanks assigns discovery ranks to latches and PIs from a
+// depth-first traversal of the combinational fanin cones of the latch
+// drivers (in latch order) and then the primary outputs: sources discovered
+// together end up with adjacent ranks, so state variables that interact in
+// some next-state function sit close in the BDD order. Latches or PIs not
+// reachable from any driver or output keep rank -1; found is the number of
+// ranked sources.
+func TopoLeafRanks(n *network.Network) (latchRank, piRank []int, found int) {
+	latchRank = make([]int, len(n.Latches))
+	piRank = make([]int, len(n.PIs))
+	latchIdx := make(map[*network.Node]int, len(n.Latches))
+	for i, l := range n.Latches {
+		latchRank[i] = -1
+		latchIdx[l.Output] = i
+	}
+	piIdx := make(map[*network.Node]int, len(n.PIs))
+	for j, p := range n.PIs {
+		piRank[j] = -1
+		piIdx[p] = j
+	}
+	visited := make(map[*network.Node]bool)
+	var dfs func(*network.Node)
+	dfs = func(v *network.Node) {
+		if visited[v] {
+			return
+		}
+		visited[v] = true
+		switch v.Kind {
+		case network.KindPI:
+			piRank[piIdx[v]] = found
+			found++
+		case network.KindLatchOut:
+			latchRank[latchIdx[v]] = found
+			found++
+		default:
+			for _, fi := range v.Fanins {
+				dfs(fi)
+			}
+		}
+	}
+	for _, l := range n.Latches {
+		dfs(l.Driver)
+	}
+	for _, po := range n.POs {
+		dfs(po.Driver)
+	}
+	return latchRank, piRank, found
+}
+
+// topoVarOrder derives the static variable order for one network: sources
+// sorted by their TopoLeafRanks discovery rank (unseen sources after all
+// seen ones, in declaration order), each latch contributing its
+// current/next pair adjacently. The manager variable *indices* are
+// untouched — only their level placement changes.
+func topoVarOrder(n *network.Network, curVar, nextVar, inVar []int, nv int) []int {
+	latchRank, piRank, found := TopoLeafRanks(n)
+	type ent struct{ rank, kind, idx int } // kind: 0 latch, 1 PI
+	ents := make([]ent, 0, len(latchRank)+len(piRank))
+	for i, r := range latchRank {
+		if r < 0 {
+			r = found + i
+		}
+		ents = append(ents, ent{r, 0, i})
+	}
+	for j, r := range piRank {
+		if r < 0 {
+			r = found + len(latchRank) + j
+		}
+		ents = append(ents, ent{r, 1, j})
+	}
+	sort.Slice(ents, func(a, b int) bool {
+		if ents[a].rank != ents[b].rank {
+			return ents[a].rank < ents[b].rank
+		}
+		if ents[a].kind != ents[b].kind {
+			return ents[a].kind < ents[b].kind
+		}
+		return ents[a].idx < ents[b].idx
+	})
+	order := make([]int, 0, nv)
+	for _, e := range ents {
+		if e.kind == 0 {
+			order = append(order, curVar[e.idx], nextVar[e.idx])
+		} else {
+			order = append(order, inVar[e.idx])
+		}
+	}
+	return order
+}

@@ -23,7 +23,9 @@ import (
 //
 // Variable layout in the manager: latch i owns current-state var 2i and
 // next-state var 2i+1 (interleaved for compact transition relations);
-// primary input j owns var 2L+j.
+// primary input j owns var 2L+j. Variable *indices* are fixed; their level
+// placement follows Limits.Order (topology-driven by default, with each
+// cur/next pair kept adjacent).
 type Analysis struct {
 	M *bdd.Manager
 	N *network.Network
@@ -31,7 +33,8 @@ type Analysis struct {
 	CurVar, NextVar []int
 	// InVar indexes by PI position.
 	InVar []int
-	// NodeFn maps every node to its BDD over current-state and input vars.
+	// NodeFn maps every node in the cone of influence of a latch data input
+	// or a primary output to its BDD over current-state and input vars.
 	NodeFn map[*network.Node]bdd.Ref
 	// Init and Reachable are state sets over current-state vars.
 	Init      bdd.Ref
@@ -46,15 +49,35 @@ type Analysis struct {
 	FrontierPeakNodes int
 }
 
-// Limits bounds the analysis; zero values mean "no limit".
+// Limits bounds and configures the analysis; zero values mean "no limit"
+// for the bounds and "package default" for the strategy knobs, so the
+// struct stays comparable and a zero Limits is a usable configuration.
 type Limits struct {
 	MaxLatches  int // refuse circuits with more registers than this
 	MaxBDDNodes int // abort when the manager exceeds this many nodes
+
+	// Image selects monolithic vs clustered-partitioned image computation
+	// (zero value: partitioned).
+	Image ImageMode
+	// Order selects the static variable order (zero value: topology-driven).
+	Order VarOrder
+	// ClusterNodes is the node-size threshold for greedy clustering of the
+	// partitioned relation (<= 0: DefaultClusterNodes). Ignored under
+	// ImageMonolithic.
+	ClusterNodes int
+	// Reorder enables dynamic variable reordering: a sifting pass runs when
+	// the manager first exceeds SiftNodes, and again on each doubling.
+	Reorder bool
+	// SiftNodes is the manager size triggering the first sifting pass
+	// (<= 0: DefaultSiftNodes). Meaningful only with Reorder.
+	SiftNodes int
 }
 
 // DefaultLimits keeps implicit enumeration within laptop-friendly bounds,
 // mirroring the scalability wall the paper describes for this approach.
-var DefaultLimits = Limits{MaxLatches: 24, MaxBDDNodes: 2_000_000}
+// Partitioned image computation raised the latch ceiling from the 24 the
+// monolithic relation could afford to 32 (DESIGN.md §9).
+var DefaultLimits = Limits{MaxLatches: 32, MaxBDDNodes: 2_000_000}
 
 // ErrTooLarge is returned when the circuit exceeds the configured limits.
 // Analyze wraps it with the observed node/iteration numbers; match with
@@ -96,6 +119,7 @@ func AnalyzeCtx(ctx context.Context, n *network.Network, lim Limits, tr *obs.Tra
 		sp.Add("bdd_nodes", int64(st.PeakNodes))
 		sp.Add("bdd_cache_hits", st.CacheHits)
 		sp.Add("bdd_cache_misses", st.CacheMisses)
+		sp.Add("bdd_sift_swaps", st.SiftSwaps)
 		if r != nil {
 			if r == bdd.ErrNodeLimit {
 				a, err = nil, fmt.Errorf("reach: state space too large: %d BDD nodes for %d latches after %d image steps (limit %d): %w",
@@ -120,6 +144,9 @@ func AnalyzeCtx(ctx context.Context, n *network.Network, lim Limits, tr *obs.Tra
 	for j := range n.PIs {
 		a.InVar[j] = 2*L + j
 	}
+	if lim.Order != OrderPositional {
+		m.SetOrder(topoVarOrder(n, a.CurVar, a.NextVar, a.InVar, nv))
+	}
 	if err := a.buildNodeFns(ctx); err != nil {
 		return nil, err
 	}
@@ -136,14 +163,12 @@ func AnalyzeCtx(ctx context.Context, n *network.Network, lim Limits, tr *obs.Tra
 	}
 	a.Init = init
 
-	// Transition relation: ∏ (next_i ↔ δ_i).
-	rel := bdd.True
+	// Per-latch relations next_i ↔ δ_i, clustered with an early-
+	// quantification schedule (monolithic on request).
+	parts := make([]bdd.Ref, L)
 	for i, l := range n.Latches {
-		delta := a.NodeFn[l.Driver]
-		rel = m.And(rel, m.Xnor(m.Var(a.NextVar[i]), delta))
+		parts[i] = m.Xnor(m.Var(a.NextVar[i]), a.NodeFn[l.Driver])
 	}
-
-	// Quantification schedule: current vars and inputs.
 	quant := make([]bool, nv)
 	for _, v := range a.CurVar {
 		quant[v] = true
@@ -160,23 +185,52 @@ func AnalyzeCtx(ctx context.Context, n *network.Network, lim Limits, tr *obs.Tra
 		perm[a.NextVar[i]] = a.CurVar[i]
 		perm[a.CurVar[i]] = a.NextVar[i]
 	}
+	threshold := 0 // monolithic
+	if lim.Image != ImageMonolithic {
+		threshold = lim.ClusterNodes
+		if threshold <= 0 {
+			threshold = DefaultClusterNodes
+		}
+	}
+	trel := BuildTransRel(m, parts, quant, perm, threshold)
+	sp.Add("reach_clusters", int64(trel.NumClusters()))
+	sp.Add("reach_quant_schedule_len", int64(trel.ScheduleLen()))
+	sp.Max("reach_cluster_peak_nodes", int64(trel.PeakClusterNodes()))
 
+	nextSift := 0
+	if lim.Reorder {
+		nextSift = lim.SiftNodes
+		if nextSift <= 0 {
+			nextSift = DefaultSiftNodes
+		}
+	}
 	reached := init
 	frontier := init
 	for ; ; depth++ {
 		if cerr := guard.Check(ctx, "reach.analyze"); cerr != nil {
 			return nil, fmt.Errorf("reach: fixpoint interrupted after %d image steps: %w", depth, cerr)
 		}
-		if fn := m.NodeCount(frontier); fn > a.FrontierPeakNodes {
+		fn := m.NodeCount(frontier)
+		if fn > a.FrontierPeakNodes {
 			a.FrontierPeakNodes = fn
 		}
 		if tr != nil {
 			tr.Event("reach_iter", map[string]any{
-				"depth": depth, "frontier_nodes": m.NodeCount(frontier), "bdd_nodes": m.Size(),
+				"depth": depth, "frontier_nodes": fn, "bdd_nodes": m.Size(),
 			})
 		}
-		img := m.AndExists(frontier, rel, quant)
-		img = m.Permute(img, perm)
+		if nextSift > 0 && m.Size() >= nextSift {
+			roots := append(trel.Roots(), reached, frontier, a.Init)
+			res := m.Sift(roots, 0)
+			nextSift = 2 * m.Size()
+			if tr != nil {
+				tr.Event("reach_sift", map[string]any{
+					"depth": depth, "swaps": res.Swaps,
+					"live_before": res.BeforeNodes, "live_after": res.AfterNodes,
+				})
+			}
+		}
+		img := trel.Image(m, frontier)
 		newStates := m.And(img, m.Not(reached))
 		if newStates == bdd.False {
 			a.Depth = depth
@@ -191,7 +245,10 @@ func AnalyzeCtx(ctx context.Context, n *network.Network, lim Limits, tr *obs.Tra
 	return a, nil
 }
 
-// buildNodeFns computes every node's BDD over current-state and input vars.
+// buildNodeFns computes the BDD over current-state and input vars for every
+// node in the cone of influence of a latch data input or a primary output;
+// logic feeding neither (dead cones left behind by other passes) never
+// reaches the BDD manager.
 func (a *Analysis) buildNodeFns(ctx context.Context) error {
 	m := a.M
 	for j, p := range a.N.PIs {
@@ -204,7 +261,11 @@ func (a *Analysis) buildNodeFns(ctx context.Context) error {
 	if err != nil {
 		return err
 	}
+	need := coneOfInfluence(a.N)
 	for _, v := range order {
+		if !need[v] {
+			continue
+		}
 		if cerr := guard.Check(ctx, "reach.analyze"); cerr != nil {
 			return fmt.Errorf("reach: node-function construction interrupted: %w", cerr)
 		}
@@ -221,12 +282,38 @@ func (a *Analysis) buildNodeFns(ctx context.Context) error {
 				case logic.LitNone:
 					cube = bdd.False
 				}
+				if cube == bdd.False {
+					break // a void literal (or contradiction) kills the cube
+				}
 			}
 			f = m.Or(f, cube)
 		}
 		a.NodeFn[v] = f
 	}
 	return nil
+}
+
+// coneOfInfluence marks the transitive fanin of every latch data input and
+// primary output.
+func coneOfInfluence(n *network.Network) map[*network.Node]bool {
+	need := make(map[*network.Node]bool)
+	var mark func(*network.Node)
+	mark = func(v *network.Node) {
+		if need[v] {
+			return
+		}
+		need[v] = true
+		for _, fi := range v.Fanins {
+			mark(fi)
+		}
+	}
+	for _, l := range n.Latches {
+		mark(l.Driver)
+	}
+	for _, po := range n.POs {
+		mark(po.Driver)
+	}
+	return need
 }
 
 // NumReachable returns the number of reachable states.

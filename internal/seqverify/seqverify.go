@@ -9,6 +9,7 @@ package seqverify
 import (
 	"context"
 	"fmt"
+	"sort"
 
 	"repro/internal/bdd"
 	"repro/internal/guard"
@@ -120,6 +121,9 @@ func EquivalentCtx(ctx context.Context, a, b *network.Network, opt Options) (err
 		inVarA[i] = i
 		inVarB[piOfB[i]] = i
 	}
+	if lim.Order != reach.OrderPositional {
+		m.SetOrder(productVarOrder(a, b, piOfB, inVarA, ma, mb, nv))
+	}
 	if err := buildFns(m, ma, inVarA); err != nil {
 		return fmt.Errorf("seqverify: %s: %w", a.Name, err)
 	}
@@ -141,12 +145,14 @@ func EquivalentCtx(ctx context.Context, a, b *network.Network, opt Options) (err
 	}
 	front := m.And(initSet(ma), initSet(mb))
 
-	tr := bdd.True
+	// Per-latch relations of both machines, clustered with an early-
+	// quantification schedule (monolithic on request via lim.Image).
+	parts := make([]bdd.Ref, 0, la+lb)
 	for i, l := range a.Latches {
-		tr = m.And(tr, m.Xnor(m.Var(ma.nextVar[i]), ma.nodeFn[l.Driver]))
+		parts = append(parts, m.Xnor(m.Var(ma.nextVar[i]), ma.nodeFn[l.Driver]))
 	}
 	for i, l := range b.Latches {
-		tr = m.And(tr, m.Xnor(m.Var(mb.nextVar[i]), mb.nodeFn[l.Driver]))
+		parts = append(parts, m.Xnor(m.Var(mb.nextVar[i]), mb.nodeFn[l.Driver]))
 	}
 
 	quant := make([]bool, nv)
@@ -169,8 +175,34 @@ func EquivalentCtx(ctx context.Context, a, b *network.Network, opt Options) (err
 	for i := 0; i < lb; i++ {
 		perm[mb.nextVar[i]], perm[mb.curVar[i]] = mb.curVar[i], mb.nextVar[i]
 	}
-	image := func(s bdd.Ref) bdd.Ref {
-		return m.Permute(m.AndExists(s, tr, quant), perm)
+	threshold := 0 // monolithic
+	if lim.Image != reach.ImageMonolithic {
+		threshold = lim.ClusterNodes
+		if threshold <= 0 {
+			threshold = reach.DefaultClusterNodes
+		}
+	}
+	trel := reach.BuildTransRel(m, parts, quant, perm, threshold)
+	nextSift := 0
+	if lim.Reorder {
+		nextSift = lim.SiftNodes
+		if nextSift <= 0 {
+			nextSift = reach.DefaultSiftNodes
+		}
+	}
+	// The PO functions are consulted after the traversal; they must count
+	// as live roots for any reordering pass.
+	poFns := make([]bdd.Ref, 0, 2*len(pairs))
+	for _, pp := range pairs {
+		poFns = append(poFns, ma.nodeFn[pp.pa.Driver], mb.nodeFn[pp.pb.Driver])
+	}
+	sift := func(reached, front bdd.Ref) {
+		if nextSift == 0 || m.Size() < nextSift {
+			return
+		}
+		roots := append(trel.Roots(), poFns...)
+		m.Sift(append(roots, reached, front), 0)
+		nextSift = 2 * m.Size()
 	}
 
 	// Advance the frontier through the delayed-replacement prefix.
@@ -178,7 +210,8 @@ func EquivalentCtx(ctx context.Context, a, b *network.Network, opt Options) (err
 		if cerr := guard.Check(ctx, "seqverify.equivalent"); cerr != nil {
 			return fmt.Errorf("seqverify: prefix traversal interrupted at cycle %d: %w", k, cerr)
 		}
-		front = image(front)
+		sift(front, front)
+		front = trel.Image(m, front)
 	}
 	// Closure from the post-prefix frontier.
 	reached := front
@@ -186,7 +219,8 @@ func EquivalentCtx(ctx context.Context, a, b *network.Network, opt Options) (err
 		if cerr := guard.Check(ctx, "seqverify.equivalent"); cerr != nil {
 			return fmt.Errorf("seqverify: reachability closure interrupted: %w", cerr)
 		}
-		img := image(front)
+		sift(reached, front)
+		img := trel.Image(m, front)
 		fresh := m.And(img, m.Not(reached))
 		if fresh == bdd.False {
 			break
@@ -208,7 +242,8 @@ func EquivalentCtx(ctx context.Context, a, b *network.Network, opt Options) (err
 	return nil
 }
 
-// buildFns computes every node's BDD. A malformed network (e.g. a
+// buildFns computes the BDD of every node in the cone of influence of a
+// latch data input or primary output. A malformed network (e.g. a
 // combinational cycle handed in by a buggy caller) is reported as an error
 // rather than a panic, so verification can never crash the process.
 func buildFns(m *bdd.Manager, mc *machine, inVar []int) error {
@@ -223,7 +258,27 @@ func buildFns(m *bdd.Manager, mc *machine, inVar []int) error {
 	if err != nil {
 		return fmt.Errorf("invalid network: %w", err)
 	}
+	need := make(map[*network.Node]bool)
+	var mark func(*network.Node)
+	mark = func(v *network.Node) {
+		if need[v] {
+			return
+		}
+		need[v] = true
+		for _, fi := range v.Fanins {
+			mark(fi)
+		}
+	}
+	for _, l := range mc.n.Latches {
+		mark(l.Driver)
+	}
+	for _, po := range mc.n.POs {
+		mark(po.Driver)
+	}
 	for _, v := range order {
+		if !need[v] {
+			continue
+		}
 		f := bdd.False
 		for _, c := range v.Func.Cubes {
 			cube := bdd.True
@@ -237,12 +292,75 @@ func buildFns(m *bdd.Manager, mc *machine, inVar []int) error {
 				case logic.LitNone:
 					cube = bdd.False
 				}
+				if cube == bdd.False {
+					break // a void literal (or contradiction) kills the cube
+				}
 			}
 			f = m.Or(f, cube)
 		}
 		mc.nodeFn[v] = f
 	}
 	return nil
+}
+
+// productVarOrder merges the topology-driven orders of the two machines
+// into one static order for the product manager: each machine's latches
+// and the shared PIs are keyed by their normalized TopoLeafRanks discovery
+// rank (a PI takes the earlier of its two ranks), so corresponding state
+// variables of structurally similar machines interleave. Each latch's
+// cur/next pair stays adjacent.
+func productVarOrder(a, b *network.Network, piOfB []int, inVarA []int, ma, mb *machine, nv int) []int {
+	laR, paR, fa := reach.TopoLeafRanks(a)
+	lbR, pbR, fb := reach.TopoLeafRanks(b)
+	denomA := float64(fa + len(laR) + len(paR) + 1)
+	denomB := float64(fb + len(lbR) + len(pbR) + 1)
+	norm := func(r, fallback int, denom float64) float64 {
+		if r < 0 {
+			r = fallback
+		}
+		return float64(r) / denom
+	}
+	type ent struct {
+		key  float64
+		kind int // 0 PI, 1 latch of a, 2 latch of b
+		idx  int
+	}
+	ents := make([]ent, 0, len(paR)+len(laR)+len(lbR))
+	for i := range paR {
+		ka := norm(paR[i], fa+len(laR)+i, denomA)
+		kb := norm(pbR[piOfB[i]], fb+len(lbR)+piOfB[i], denomB)
+		if kb < ka {
+			ka = kb
+		}
+		ents = append(ents, ent{ka, 0, i})
+	}
+	for i := range laR {
+		ents = append(ents, ent{norm(laR[i], fa+i, denomA), 1, i})
+	}
+	for i := range lbR {
+		ents = append(ents, ent{norm(lbR[i], fb+i, denomB), 2, i})
+	}
+	sort.Slice(ents, func(x, y int) bool {
+		if ents[x].key != ents[y].key {
+			return ents[x].key < ents[y].key
+		}
+		if ents[x].kind != ents[y].kind {
+			return ents[x].kind < ents[y].kind
+		}
+		return ents[x].idx < ents[y].idx
+	})
+	order := make([]int, 0, nv)
+	for _, e := range ents {
+		switch e.kind {
+		case 0:
+			order = append(order, inVarA[e.idx])
+		case 1:
+			order = append(order, ma.curVar[e.idx], ma.nextVar[e.idx])
+		default:
+			order = append(order, mb.curVar[e.idx], mb.nextVar[e.idx])
+		}
+	}
+	return order
 }
 
 func witnessString(w []logic.Lit, ni, la, lb int) string {

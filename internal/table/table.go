@@ -26,6 +26,7 @@ import (
 	"repro/internal/guard"
 	"repro/internal/obs"
 	"repro/internal/parexec"
+	"repro/internal/reach"
 )
 
 // Options configures one table run.
@@ -44,6 +45,10 @@ type Options struct {
 	ShowTimes bool
 	// Budget bounds flow/pass wall time via the guard layer.
 	Budget guard.Budget
+	// Reach configures the implicit state enumeration of the retiming +
+	// comb.opt flow and of exact verification (image partitioning, variable
+	// order, limits). Zero value: reach.DefaultLimits.
+	Reach reach.Limits
 	// Tracer, when non-nil, receives every circuit's span tree, merged in
 	// suite order.
 	Tracer *obs.Tracer
@@ -174,10 +179,12 @@ func runCircuit(ctx context.Context, c bench.Circuit, lib *genlib.Library, opt O
 
 	start := time.Now()
 	csp := tr.Begin(c.Name)
-	sd, ret, rsyn, err := flows.RunAllCtx(ctx, src, lib, flows.Config{
+	cfg := flows.Config{
 		Tracer: tr,
 		Budget: opt.Budget,
-	})
+		Reach:  opt.Reach,
+	}
+	sd, ret, rsyn, err := flows.RunAllCtx(ctx, src, lib, cfg)
 	csp.End()
 	if err != nil {
 		fmt.Fprintf(&errs, "%s: flow failed: %v\n", c.Name, err)
@@ -185,7 +192,7 @@ func runCircuit(ctx context.Context, c bench.Circuit, lib *genlib.Library, opt O
 	}
 	if opt.Verify {
 		for i, res := range []*flows.Result{sd, ret, rsyn} {
-			if err := flows.Verify(src, res); err != nil {
+			if err := flows.VerifyCfg(ctx, src, res, cfg); err != nil {
 				fmt.Fprintf(&errs, "%s: flow %d FAILED VERIFICATION: %v\n", c.Name, i, err)
 				r.verifyFail = true
 				return r
