@@ -16,12 +16,18 @@
 // cluster counts and wall time for both, plus the monolithic/partitioned
 // peak-node ratio.
 //
+// With -sim-bench the command benchmarks random simulation itself: every
+// selected circuit runs the self-equivalence sweep once on the scalar
+// simulator and once on the bit-parallel engine (internal/bitsim), and
+// BENCH_sim.json records vectors/sec for both plus the speedup ratio.
+//
 // Usage:
 //
 //	benchflows [-out BENCH_flows.json] [-circuits ex2,bbtas,...] [-skip-large]
 //	           [-workers N] [-timeout 60s] [-pass-timeout 10s]
 //	           [-partition on|off] [-order topo|positional] [-partition-nodes N] [-reorder]
 //	           [-reach-bench] [-reach-out BENCH_reach.json]
+//	           [-sim-bench] [-sim-out BENCH_sim.json] [-sim-cycles N]
 package main
 
 import (
@@ -35,12 +41,14 @@ import (
 	"time"
 
 	"repro/internal/bench"
+	"repro/internal/bitsim"
 	"repro/internal/flows"
 	"repro/internal/genlib"
 	"repro/internal/guard"
 	"repro/internal/obs"
 	"repro/internal/parexec"
 	"repro/internal/reach"
+	"repro/internal/sim"
 )
 
 type flowMetrics struct {
@@ -81,6 +89,9 @@ func main() {
 	reorder := flag.Bool("reorder", false, "enable dynamic BDD variable reordering (sifting) on node-count blowup")
 	reachBench := flag.Bool("reach-bench", false, "benchmark partitioned vs monolithic reachability instead of the flows")
 	reachOut := flag.String("reach-out", "BENCH_reach.json", "output JSON file for -reach-bench")
+	simBench := flag.Bool("sim-bench", false, "benchmark scalar vs bit-parallel random simulation instead of the flows")
+	simOut := flag.String("sim-out", "BENCH_sim.json", "output JSON file for -sim-bench")
+	simCycles := flag.Int("sim-cycles", 256, "cycles per simulation sweep for -sim-bench")
 	flag.Parse()
 
 	reachLim, err := reach.FlagLimits(reach.DefaultLimits, *partition, *order, *partitionNodes, *reorder)
@@ -106,6 +117,10 @@ func main() {
 	budget := guard.Budget{Flow: *timeout, Pass: *passTimeout}
 	if *reachBench {
 		runReachBench(suite, reachLim, budget, *workers, *skipLarge, *reachOut)
+		return
+	}
+	if *simBench {
+		runSimBench(suite, *workers, *skipLarge, *simCycles, *simOut)
 		return
 	}
 
@@ -264,6 +279,128 @@ func runReachBench(suite []bench.Circuit, lim reach.Limits, budget guard.Budget,
 		os.Exit(1)
 	}
 	fmt.Printf("wrote %s (%d circuits)\n", out, len(rep.Circuits))
+}
+
+// --- sim benchmark mode ---
+
+type simModeReport struct {
+	Vectors    int64   `json:"vectors"`
+	WallMS     float64 `json:"wall_ms"`
+	VectorsSec float64 `json:"vectors_per_sec"`
+	Error      string  `json:"error,omitempty"`
+}
+
+type simCircuitReport struct {
+	Circuit string        `json:"circuit"`
+	Gates   int           `json:"gates"`
+	Latches int           `json:"latches"`
+	PIs     int           `json:"pis"`
+	Scalar  simModeReport `json:"scalar"`
+	Bitsim  simModeReport `json:"bitsim"`
+	// Speedup is bitsim vectors/sec over scalar vectors/sec.
+	Speedup float64 `json:"speedup,omitempty"`
+	Skipped bool    `json:"skipped,omitempty"`
+	Error   string  `json:"error,omitempty"`
+}
+
+type simBenchReport struct {
+	Schema   string             `json:"schema"`
+	Cycles   int                `json:"cycles"`
+	Circuits []simCircuitReport `json:"circuits"`
+}
+
+// runSimBench runs the self-equivalence random sweep on every circuit with
+// both simulation engines and writes the vectors/sec comparison.
+func runSimBench(suite []bench.Circuit, workers int, skipLarge bool, cycles int, out string) {
+	reports, err := parexec.Map(context.Background(), workers, suite,
+		func(_ context.Context, _ int, c bench.Circuit) (simCircuitReport, error) {
+			return simBenchCircuit(c, cycles, skipLarge), nil
+		})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchflows:", err)
+		os.Exit(1)
+	}
+	rep := simBenchReport{Schema: "bench_sim/v1", Cycles: cycles}
+	for _, cr := range reports {
+		rep.Circuits = append(rep.Circuits, cr)
+		status := "ok"
+		switch {
+		case cr.Skipped:
+			status = "skipped"
+		case cr.Error != "":
+			status = "FAILED: " + cr.Error
+		case cr.Speedup > 0:
+			status = fmt.Sprintf("%.0f vs %.0f vectors/s (%.1fx)",
+				cr.Bitsim.VectorsSec, cr.Scalar.VectorsSec, cr.Speedup)
+		}
+		fmt.Printf("%-10s %s\n", cr.Circuit, status)
+	}
+	f, err := os.Create(out)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchflows:", err)
+		os.Exit(1)
+	}
+	defer f.Close()
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(rep); err != nil {
+		fmt.Fprintln(os.Stderr, "benchflows:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("wrote %s (%d circuits)\n", out, len(rep.Circuits))
+}
+
+// simMeasure repeats the sweep until it has accumulated enough wall time
+// for a stable rate (at least ~100ms or 64 repetitions).
+func simMeasure(vectorsPerRun int64, run func() error) simModeReport {
+	mr := simModeReport{}
+	defer func() {
+		if r := recover(); r != nil {
+			mr.Error = fmt.Sprint(r)
+		}
+	}()
+	start := time.Now()
+	reps := 0
+	for ; reps < 64 && (reps == 0 || time.Since(start) < 100*time.Millisecond); reps++ {
+		if err := run(); err != nil {
+			mr.Error = err.Error()
+			return mr
+		}
+	}
+	el := time.Since(start)
+	mr.Vectors = int64(reps) * vectorsPerRun
+	mr.WallMS = float64(el) / float64(time.Millisecond)
+	mr.VectorsSec = float64(mr.Vectors) / el.Seconds()
+	return mr
+}
+
+func simBenchCircuit(c bench.Circuit, cycles int, skipLarge bool) simCircuitReport {
+	cr := simCircuitReport{Circuit: c.Name}
+	src, err := c.Build()
+	if err != nil {
+		cr.Error = err.Error()
+		return cr
+	}
+	cr.Gates = src.NumLogicNodes()
+	cr.Latches = len(src.Latches)
+	cr.PIs = len(src.PIs)
+	if skipLarge && cr.Gates > 1000 {
+		cr.Skipped = true
+		return cr
+	}
+	cr.Scalar = simMeasure(int64(cycles), func() error {
+		return sim.RandomEquivalentScalar(src, src, 0, cycles, 1)
+	})
+	cr.Bitsim = simMeasure(int64(cycles)*bitsim.LanesPerWord, func() error {
+		return sim.RandomEquivalent(src, src, 0, cycles, 1)
+	})
+	if cr.Scalar.Error != "" || cr.Bitsim.Error != "" {
+		cr.Error = cr.Scalar.Error + cr.Bitsim.Error
+	}
+	if cr.Scalar.VectorsSec > 0 && cr.Bitsim.VectorsSec > 0 {
+		cr.Speedup = cr.Bitsim.VectorsSec / cr.Scalar.VectorsSec
+	}
+	return cr
 }
 
 func reachBenchCircuit(c bench.Circuit, lim reach.Limits, budget guard.Budget, skipLarge bool) reachCircuitReport {

@@ -44,6 +44,7 @@ func main() {
 	order := flag.String("order", "topo", "BDD variable order: topo | positional")
 	partitionNodes := flag.Int("partition-nodes", 0, "cluster node-size threshold for -partition on (0 = default)")
 	reorder := flag.Bool("reorder", false, "enable dynamic BDD variable reordering (sifting) on node-count blowup")
+	simCycles := flag.Int("sim-cycles", sim.DefaultSpotCheck.CLI.Cycles, "random-simulation cycles for the -verify fallback when the state space is too large for the exact check")
 	flag.Parse()
 	if *in == "" {
 		flag.Usage()
@@ -151,10 +152,10 @@ func main() {
 		case err == nil:
 			fmt.Println("verify: exact product-machine equivalence PASSED")
 		case errors.Is(err, seqverify.ErrTooLarge):
-			if serr := sim.RandomEquivalent(src, result.Net, result.PrefixK, 5000, 1); serr != nil {
+			if serr := sim.RandomEquivalent(src, result.Net, result.PrefixK, *simCycles, sim.DefaultSpotCheck.CLI.Seed); serr != nil {
 				fatal(serr)
 			}
-			fmt.Println("verify: 5000-cycle random simulation PASSED (state space too large for exact check)")
+			fmt.Printf("verify: %d-cycle random simulation PASSED (state space too large for exact check)\n", *simCycles)
 		default:
 			fatal(err)
 		}

@@ -29,6 +29,7 @@ func main() {
 	order := flag.String("order", "topo", "BDD variable order: topo | positional")
 	partitionNodes := flag.Int("partition-nodes", 0, "cluster node-size threshold for -partition on (0 = default)")
 	reorder := flag.Bool("reorder", false, "enable dynamic BDD variable reordering (sifting) on node-count blowup")
+	simCycles := flag.Int("sim-cycles", sim.DefaultSpotCheck.CLI.Cycles, "random-simulation cycles for the -verify fallback when the state space is too large for the exact check")
 	flag.Parse()
 	if *in == "" {
 		flag.Usage()
@@ -82,10 +83,10 @@ func main() {
 		case err == nil:
 			fmt.Println("verify: exact equivalence PASSED")
 		case err == seqverify.ErrTooLarge:
-			if serr := sim.RandomEquivalent(src, result, 0, 5000, 1); serr != nil {
+			if serr := sim.RandomEquivalent(src, result, 0, *simCycles, sim.DefaultSpotCheck.CLI.Seed); serr != nil {
 				fatal(serr)
 			}
-			fmt.Println("verify: random simulation PASSED")
+			fmt.Printf("verify: %d-cycle random simulation PASSED\n", *simCycles)
 		default:
 			fatal(err)
 		}

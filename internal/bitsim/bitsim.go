@@ -1,0 +1,281 @@
+// Package bitsim is the bit-parallel (word-packed) simulation engine
+// behind the random-vector spot checks: it compiles each node's SOP cover
+// once per network into literal index lists and then evaluates 64
+// independent input vectors per uint64 word operation.
+//
+// Values are ternary (0/1/X) and encoded dual-rail: every signal carries
+// two bit-planes, `one` and `zero`, with one bit per simulation lane. A
+// lane with the `one` bit set holds 1, with the `zero` bit set holds 0,
+// and with neither holds X; both set is impossible by construction. Under
+// this encoding a cube (product term) evaluates as
+//
+//	cube.one  = AND over literals of lit.one     (all literals are 1)
+//	cube.zero = OR  over literals of lit.zero    (some literal is 0)
+//
+// and a cover (sum of cubes) as OR of cube.one / AND of cube.zero, which
+// realizes exactly the conservative (Kleene) 3-valued semantics of the
+// scalar simulator in internal/sim — that scalar path stays around as the
+// oracle, and the property suite in this package pins the two against each
+// other bit-for-bit over random networks, states and X-patterns.
+//
+// One Block holds one word (64 lanes) of simulation state with all buffers
+// preallocated, so steady-state stepping performs zero allocations.
+// Independent blocks shard across internal/parexec with index-ordered
+// merging, so every exported search in this package returns byte-identical
+// results at any worker width.
+package bitsim
+
+import (
+	"fmt"
+
+	"repro/internal/logic"
+	"repro/internal/network"
+)
+
+// LanesPerWord is the number of simulation lanes packed into one uint64.
+const LanesPerWord = 64
+
+// ccube is one compiled product term: the fanin signal indices that appear
+// as positive and negative literals. A cube carrying the contradictory
+// LitNone literal is void (constant 0) and contributes nothing to the OR.
+type ccube struct {
+	pos  []int32
+	neg  []int32
+	void bool
+}
+
+// cnode is one compiled logic node in topological order.
+type cnode struct {
+	out   int32
+	cubes []ccube
+}
+
+// Sim is a compiled bit-parallel simulator for one network. It is
+// immutable after Compile and safe for concurrent use; all mutable state
+// lives in Blocks.
+type Sim struct {
+	net  *network.Network
+	nSig int
+
+	piSig       []int32
+	poSig       []int32
+	latchOutSig []int32
+	latchDrvSig []int32
+	latchInit   []network.Value
+	nodes       []cnode
+}
+
+// Compile builds the word-packed evaluation program for n: the memoized
+// topological order flattened into per-cube literal index lists.
+func Compile(n *network.Network) (*Sim, error) {
+	order, err := n.TopoOrder()
+	if err != nil {
+		return nil, err
+	}
+	s := &Sim{net: n}
+	sig := make(map[*network.Node]int32, len(n.Nodes()))
+	add := func(v *network.Node) int32 {
+		if i, ok := sig[v]; ok {
+			return i
+		}
+		i := int32(s.nSig)
+		sig[v] = i
+		s.nSig++
+		return i
+	}
+	for _, p := range n.PIs {
+		s.piSig = append(s.piSig, add(p))
+	}
+	for _, l := range n.Latches {
+		s.latchOutSig = append(s.latchOutSig, add(l.Output))
+		s.latchInit = append(s.latchInit, l.Init)
+	}
+	for _, v := range order {
+		fan := make([]int32, len(v.Fanins))
+		for i, fi := range v.Fanins {
+			g, ok := sig[fi]
+			if !ok {
+				return nil, fmt.Errorf("bitsim: %s: fanin %s used before definition", v.Name, fi.Name)
+			}
+			fan[i] = g
+		}
+		cn := cnode{out: add(v), cubes: make([]ccube, 0, len(v.Func.Cubes))}
+		for _, c := range v.Func.Cubes {
+			var cb ccube
+			for vi := 0; vi < c.N; vi++ {
+				switch c.Lit(vi) {
+				case logic.LitPos:
+					cb.pos = append(cb.pos, fan[vi])
+				case logic.LitNeg:
+					cb.neg = append(cb.neg, fan[vi])
+				case logic.LitNone:
+					cb.void = true
+				}
+			}
+			if cb.void {
+				cb.pos, cb.neg = nil, nil
+			}
+			cn.cubes = append(cn.cubes, cb)
+		}
+		s.nodes = append(s.nodes, cn)
+	}
+	for _, l := range n.Latches {
+		if l.Driver == nil {
+			return nil, fmt.Errorf("bitsim: latch %s has no driver", l.Name)
+		}
+		d, ok := sig[l.Driver]
+		if !ok {
+			return nil, fmt.Errorf("bitsim: latch %s driver %s is not a simulated signal", l.Name, l.Driver.Name)
+		}
+		s.latchDrvSig = append(s.latchDrvSig, d)
+	}
+	for _, p := range n.POs {
+		d, ok := sig[p.Driver]
+		if !ok {
+			return nil, fmt.Errorf("bitsim: PO %s driver %s is not a simulated signal", p.Name, p.Driver.Name)
+		}
+		s.poSig = append(s.poSig, d)
+	}
+	return s, nil
+}
+
+// NumPIs returns the primary input count (PI word order).
+func (s *Sim) NumPIs() int { return len(s.piSig) }
+
+// NumPOs returns the primary output count (PO word order).
+func (s *Sim) NumPOs() int { return len(s.poSig) }
+
+// NumLatches returns the register count.
+func (s *Sim) NumLatches() int { return len(s.latchOutSig) }
+
+// NumSignals returns the number of simulated signals (PIs, latch outputs
+// and logic nodes); each costs two words per Block.
+func (s *Sim) NumSignals() int { return s.nSig }
+
+// Block is 64 lanes of simulation state for one Sim. All buffers are
+// preallocated by NewBlock; Step allocates nothing.
+type Block struct {
+	one, zero       []uint64 // per signal
+	nxtOne, nxtZero []uint64 // per latch, the snapshot for the state update
+	poOne, poZero   []uint64 // per PO, captured before the register update
+}
+
+// NewBlock allocates a block. Latches start at X (no bits set); call Reset
+// for the declared initial state.
+func (s *Sim) NewBlock() *Block {
+	return &Block{
+		one:     make([]uint64, s.nSig),
+		zero:    make([]uint64, s.nSig),
+		nxtOne:  make([]uint64, len(s.latchOutSig)),
+		nxtZero: make([]uint64, len(s.latchOutSig)),
+		poOne:   make([]uint64, len(s.poSig)),
+		poZero:  make([]uint64, len(s.poSig)),
+	}
+}
+
+// Reset sets every lane of every latch to the declared initial value.
+func (s *Sim) Reset(b *Block) {
+	for i, g := range s.latchOutSig {
+		switch s.latchInit[i] {
+		case network.V0:
+			b.one[g], b.zero[g] = 0, ^uint64(0)
+		case network.V1:
+			b.one[g], b.zero[g] = ^uint64(0), 0
+		default:
+			b.one[g], b.zero[g] = 0, 0
+		}
+	}
+}
+
+// SetAllX sets every lane of every latch to X — the power-up state of the
+// synchronizing-sequence search.
+func (s *Sim) SetAllX(b *Block) {
+	for _, g := range s.latchOutSig {
+		b.one[g], b.zero[g] = 0, 0
+	}
+}
+
+// SetLatch overrides latch i's dual-rail words directly (per-lane state
+// injection for the property suite). one&zero must be 0.
+func (s *Sim) SetLatch(b *Block, i int, one, zero uint64) {
+	if one&zero != 0 {
+		panic("bitsim: lane holds both 0 and 1")
+	}
+	g := s.latchOutSig[i]
+	b.one[g], b.zero[g] = one, zero
+}
+
+// Latch returns latch i's current dual-rail words.
+func (s *Sim) Latch(b *Block, i int) (one, zero uint64) {
+	g := s.latchOutSig[i]
+	return b.one[g], b.zero[g]
+}
+
+// PO returns primary output i's dual-rail words as observed during the
+// last Step — i.e. before the register update, so a PO driven directly by
+// a latch output reports the cycle's current state like the scalar path.
+func (s *Sim) PO(b *Block, i int) (one, zero uint64) {
+	return b.poOne[i], b.poZero[i]
+}
+
+// DefinedLatches returns the mask of lanes in which every latch holds a
+// defined (non-X) value. With zero latches every lane is defined.
+func (s *Sim) DefinedLatches(b *Block) uint64 {
+	m := ^uint64(0)
+	for _, g := range s.latchOutSig {
+		m &= b.one[g] | b.zero[g]
+	}
+	return m
+}
+
+// Step applies one clock cycle: it latches the PI words (dual-rail, one
+// pair per PI in declaration order), evaluates all logic nodes in
+// topological order, and advances the registers. 64 lanes advance per
+// call; the caller reads POs and latches afterwards.
+func (s *Sim) Step(b *Block, piOne, piZero []uint64) {
+	if len(piOne) != len(s.piSig) || len(piZero) != len(s.piSig) {
+		panic(fmt.Sprintf("bitsim: %d/%d PI words for %d PIs", len(piOne), len(piZero), len(s.piSig)))
+	}
+	one, zero := b.one, b.zero
+	for i, g := range s.piSig {
+		one[g], zero[g] = piOne[i], piZero[i]
+	}
+	for ni := range s.nodes {
+		nd := &s.nodes[ni]
+		var o uint64
+		z := ^uint64(0)
+		for ci := range nd.cubes {
+			cb := &nd.cubes[ci]
+			if cb.void {
+				continue
+			}
+			ones := ^uint64(0)
+			var zeros uint64
+			for _, v := range cb.pos {
+				ones &= one[v]
+				zeros |= zero[v]
+			}
+			for _, v := range cb.neg {
+				ones &= zero[v]
+				zeros |= one[v]
+			}
+			o |= ones
+			z &= zeros
+		}
+		one[nd.out], zero[nd.out] = o, z
+	}
+	// POs observe the pre-edge values: capture them before the registers
+	// advance (a PO driven by a latch output reports the current state).
+	for i, g := range s.poSig {
+		b.poOne[i], b.poZero[i] = one[g], zero[g]
+	}
+	// Snapshot all next-state words before writing any latch output, so a
+	// register chained off another register's output reads the pre-edge
+	// value.
+	for i, d := range s.latchDrvSig {
+		b.nxtOne[i], b.nxtZero[i] = one[d], zero[d]
+	}
+	for i, g := range s.latchOutSig {
+		one[g], zero[g] = b.nxtOne[i], b.nxtZero[i]
+	}
+}

@@ -1,0 +1,283 @@
+package bitsim
+
+import (
+	"context"
+	"fmt"
+	"math/bits"
+	"math/rand"
+
+	"repro/internal/network"
+	"repro/internal/obs"
+	"repro/internal/parexec"
+)
+
+// Options tunes the batched searches. The zero value is the default used
+// throughout the pipeline: 64 streams (one word block), inline execution.
+type Options struct {
+	// Streams is the number of independent random input streams to drive
+	// (default 64). Streams round up into ceil(Streams/64) word blocks;
+	// counts not divisible by 64 leave the tail block partially masked.
+	Streams int
+	// Workers bounds the parexec fan-out over word blocks (<=0 selects
+	// GOMAXPROCS). Results are merged in block order, so the outcome is
+	// byte-identical at any width.
+	Workers int
+	// Tracer receives a "bitsim.*" span with vectors/words/streams
+	// counters per call (nil: no tracing).
+	Tracer *obs.Tracer
+}
+
+func (o Options) streams() int {
+	if o.Streams <= 0 {
+		return LanesPerWord
+	}
+	return o.Streams
+}
+
+// xPanicMsg matches the scalar StepBits panic exactly: guard's smoke check
+// treats it as "inconclusive", and that classification must not change
+// when the batched path replaces the scalar one.
+const xPanicMsg = "sim: X reached a PO under two-valued simulation"
+
+// laneRNG produces one lane's input bit stream. Global lane 0 replays the
+// exact math/rand stream of the scalar path (one Intn(2) draw per PI per
+// cycle from rand.NewSource(seed)), so first-divergence diagnostics remain
+// reproducible against the scalar oracle; every other lane draws from a
+// splitmix64 generator derived from (seed, lane).
+type laneRNG struct {
+	std  *rand.Rand
+	s    uint64
+	buf  uint64
+	left int
+}
+
+func newLaneRNG(seed int64, lane int, scalarParity bool) laneRNG {
+	if scalarParity && lane == 0 {
+		return laneRNG{std: rand.New(rand.NewSource(seed))}
+	}
+	s := uint64(seed) ^ (uint64(lane)+1)*0x9E3779B97F4A7C15
+	return laneRNG{s: s}
+}
+
+func splitmix(s *uint64) uint64 {
+	*s += 0x9E3779B97F4A7C15
+	z := *s
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	return z ^ (z >> 31)
+}
+
+func (g *laneRNG) bit() bool {
+	if g.std != nil {
+		return g.std.Intn(2) == 1
+	}
+	if g.left == 0 {
+		g.buf = splitmix(&g.s)
+		g.left = 64
+	}
+	b := g.buf&1 == 1
+	g.buf >>= 1
+	g.left--
+	return b
+}
+
+// poPair matches one PO of a to the same-named PO of b.
+type poPair struct{ ia, ib int }
+
+// matchPOs reproduces the scalar pairing (and its error messages): every
+// PO of a must exist in b by name.
+func matchPOs(a, b *network.Network) ([]poPair, error) {
+	var pairs []poPair
+	for ia, pa := range a.POs {
+		found := false
+		for ib, pb := range b.POs {
+			if pa.Name == pb.Name {
+				pairs = append(pairs, poPair{ia, ib})
+				found = true
+				break
+			}
+		}
+		if !found {
+			return nil, fmt.Errorf("sim: PO %q missing in %s", pa.Name, b.Name)
+		}
+	}
+	return pairs, nil
+}
+
+// eqMismatch is one block's verdict.
+type eqMismatch struct {
+	// scalarErr is the exact scalar-parity failure observed on global lane
+	// 0 (block 0 only).
+	scalarErr error
+	// found marks a conservative mismatch on some other lane: both POs
+	// defined and different.
+	found             bool
+	cycle, lane, pair int
+}
+
+// RandomEquivalent drives both networks with the same random input vectors
+// on opt.Streams independent streams for `cycles` cycles after a warm-up
+// prefix of `delay` cycles each (the paper's delayed replacement: machines
+// need only agree after k power-up cycles). POs are matched by name.
+//
+// Stream 0 replays the exact vector sequence of the scalar oracle
+// (sim.RandomEquivalentScalar) for the same seed, with the same failure
+// behaviour: its first PO divergence is reported with the scalar error
+// message, and an X reaching a PO on stream 0 panics like the scalar
+// two-valued simulator (the guard smoke check maps that to
+// "inconclusive"). The remaining streams add coverage: a divergence on
+// stream k>0 (both sides defined, values different) is reported with the
+// stream index unless stream 0 already failed. Returns nil if no mismatch
+// was observed on any stream.
+func RandomEquivalent(a, b *network.Network, delay, cycles int, seed int64, opt Options) error {
+	if len(a.PIs) != len(b.PIs) {
+		return fmt.Errorf("sim: PI count differs: %d vs %d", len(a.PIs), len(b.PIs))
+	}
+	sa, err := Compile(a)
+	if err != nil {
+		return err
+	}
+	sb, err := Compile(b)
+	if err != nil {
+		return err
+	}
+	pairs, err := matchPOs(a, b)
+	if err != nil {
+		return err
+	}
+	streams := opt.streams()
+	nBlocks := (streams + LanesPerWord - 1) / LanesPerWord
+	total := delay + cycles
+
+	sp := opt.Tracer.Begin("bitsim.random_equivalent")
+	defer sp.End()
+	sp.Add("bitsim_streams", int64(streams))
+	sp.Add("bitsim_cycles", int64(total))
+	sp.Add("bitsim_vectors", int64(streams)*int64(total))
+	sp.Add("bitsim_words", int64(nBlocks)*int64(total)*int64(sa.NumSignals()+sb.NumSignals()))
+	sp.Add("bitsim_pack_words", int64(nBlocks)*int64(total)*int64(len(a.PIs)))
+
+	blockIdx := make([]int, nBlocks)
+	for i := range blockIdx {
+		blockIdx[i] = i
+	}
+	results, _ := parexec.Map(context.Background(), opt.Workers, blockIdx,
+		func(_ context.Context, _ int, blk int) (eqMismatch, error) {
+			return runEquivBlock(sa, sb, pairs, blk, streams, delay, total, seed), nil
+		})
+
+	// Merge in block order: the scalar-parity lane wins outright, then the
+	// earliest (cycle, lane, pair) conservative mismatch.
+	if len(results) > 0 && results[0].scalarErr != nil {
+		return results[0].scalarErr
+	}
+	best := eqMismatch{}
+	for _, r := range results {
+		if !r.found {
+			continue
+		}
+		if !best.found || r.cycle < best.cycle ||
+			(r.cycle == best.cycle && (r.lane < best.lane || (r.lane == best.lane && r.pair < best.pair))) {
+			best = r
+		}
+	}
+	if best.found {
+		return fmt.Errorf("sim: PO %q differs at cycle %d on stream %d (after %d-cycle prefix)",
+			a.POs[pairs[best.pair].ia].Name, best.cycle, best.lane, delay)
+	}
+	return nil
+}
+
+// runEquivBlock simulates 64 streams of one block through both machines.
+// Block 0 additionally enforces the scalar semantics on lane 0: X at any
+// PO panics (before the cycle's comparison, like StepBits), and lane 0's
+// first post-prefix divergence returns immediately with the scalar error.
+func runEquivBlock(sa, sb *Sim, pairs []poPair, blk, streams, delay, total int, seed int64) eqMismatch {
+	lo := blk * LanesPerWord
+	active := streams - lo
+	if active > LanesPerWord {
+		active = LanesPerWord
+	}
+	activeMask := ^uint64(0)
+	if active < LanesPerWord {
+		activeMask = (uint64(1) << uint(active)) - 1
+	}
+	othersMask := activeMask
+	scalarLane := blk == 0
+	if scalarLane {
+		othersMask &^= 1
+	}
+
+	rngs := make([]laneRNG, active)
+	for l := range rngs {
+		rngs[l] = newLaneRNG(seed, lo+l, scalarLane)
+	}
+	nPI := sa.NumPIs()
+	piOne := make([]uint64, nPI)
+	piZero := make([]uint64, nPI)
+	ba := sa.NewBlock()
+	bb := sb.NewBlock()
+	sa.Reset(ba)
+	sb.Reset(bb)
+
+	res := eqMismatch{}
+	for c := 0; c < total; c++ {
+		for i := range piOne {
+			piOne[i] = 0
+		}
+		for l := range rngs {
+			for i := 0; i < nPI; i++ {
+				if rngs[l].bit() {
+					piOne[i] |= uint64(1) << uint(l)
+				}
+			}
+		}
+		for i := range piOne {
+			piZero[i] = ^piOne[i]
+		}
+		sa.Step(ba, piOne, piZero)
+		sb.Step(bb, piOne, piZero)
+
+		if scalarLane {
+			// Scalar StepBits order: network a's POs first, then b's.
+			for i := 0; i < sa.NumPOs(); i++ {
+				one, zero := sa.PO(ba, i)
+				if (one|zero)&1 == 0 {
+					panic(xPanicMsg)
+				}
+			}
+			for i := 0; i < sb.NumPOs(); i++ {
+				one, zero := sb.PO(bb, i)
+				if (one|zero)&1 == 0 {
+					panic(xPanicMsg)
+				}
+			}
+		}
+		if c < delay {
+			continue
+		}
+		for pi, p := range pairs {
+			aOne, aZero := sa.PO(ba, p.ia)
+			bOne, bZero := sb.PO(bb, p.ib)
+			if scalarLane && (aOne^bOne)&1 != 0 {
+				return eqMismatch{scalarErr: fmt.Errorf(
+					"sim: PO %q differs at cycle %d (after %d-cycle prefix)",
+					sa.net.POs[p.ia].Name, c, delay)}
+			}
+			if !res.found {
+				// Conservative on the extra streams: a mismatch needs both
+				// sides defined with opposite values; X compares equal.
+				if mm := ((aOne & bZero) | (aZero & bOne)) & othersMask; mm != 0 {
+					res = eqMismatch{found: true, cycle: c, lane: lo + bits.TrailingZeros64(mm), pair: pi}
+					if !scalarLane {
+						// Nothing else in this block can beat its own
+						// earliest mismatch; block 0 must keep simulating
+						// for the scalar lane.
+						return res
+					}
+				}
+			}
+		}
+	}
+	return res
+}

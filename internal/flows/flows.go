@@ -28,6 +28,7 @@ import (
 	"fmt"
 
 	"repro/internal/algebraic"
+	"repro/internal/bitsim"
 	"repro/internal/core"
 	"repro/internal/genlib"
 	"repro/internal/guard"
@@ -525,7 +526,9 @@ func VerifyCfg(ctx context.Context, src *network.Network, r *Result, cfg Config)
 		return nil
 	}
 	if errors.Is(err, seqverify.ErrTooLarge) {
-		return sim.RandomEquivalent(src, r.Net, r.PrefixK, 3000, 1999)
+		sc := sim.DefaultSpotCheck.Verify
+		return bitsim.RandomEquivalent(src, r.Net, r.PrefixK, sc.Cycles, sc.Seed,
+			bitsim.Options{Tracer: cfg.Tracer})
 	}
 	return err
 }

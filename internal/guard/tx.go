@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 
+	"repro/internal/bitsim"
 	"repro/internal/network"
 	"repro/internal/obs"
 	"repro/internal/sim"
@@ -21,9 +22,11 @@ type TxOptions struct {
 	// Inject optionally injects faults per pass invocation (nil: none).
 	Inject Injector
 	// SmokeCycles is the length of the post-pass random-simulation smoke
-	// check against the pass input (default 64; negative disables).
+	// check against the pass input (default sim.DefaultSpotCheck.Smoke.Cycles;
+	// negative disables).
 	SmokeCycles int
-	// SmokeSeed seeds the smoke check's input vectors (default 1).
+	// SmokeSeed seeds the smoke check's input vectors (default
+	// sim.DefaultSpotCheck.Smoke.Seed).
 	SmokeSeed int64
 }
 
@@ -141,14 +144,14 @@ func Tx(ctx context.Context, pass string, in *network.Network, opt TxOptions, fn
 func smokeCheck(in, out *network.Network, prefix int, opt TxOptions, sp *obs.Span) (err error) {
 	cycles := opt.SmokeCycles
 	if cycles == 0 {
-		cycles = 64
+		cycles = sim.DefaultSpotCheck.Smoke.Cycles
 	}
 	if cycles < 0 {
 		return nil
 	}
 	seed := opt.SmokeSeed
 	if seed == 0 {
-		seed = 1
+		seed = sim.DefaultSpotCheck.Smoke.Seed
 	}
 	defer func() {
 		if r := recover(); r != nil {
@@ -156,7 +159,7 @@ func smokeCheck(in, out *network.Network, prefix int, opt TxOptions, sp *obs.Spa
 			err = nil
 		}
 	}()
-	return sim.RandomEquivalent(in, out, prefix, cycles, seed)
+	return bitsim.RandomEquivalent(in, out, prefix, cycles, seed, bitsim.Options{Tracer: opt.Tracer})
 }
 
 // corruptNetwork realizes FaultCorrupt: it breaks a structural invariant of

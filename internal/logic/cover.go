@@ -148,6 +148,33 @@ func (f *Cover) mostBinate() int {
 	return -1
 }
 
+// IsUnate reports whether the cover is unate in every variable, i.e. no
+// variable appears in both phases across the cubes. Works word-parallel on
+// the positional encoding: a variable's two bits are 01 for x', 10 for x,
+// and the unused high bits of the last word stay 11, so they never
+// register in either phase mask.
+func (f *Cover) IsUnate() bool {
+	if len(f.Cubes) == 0 {
+		return true
+	}
+	nw := len(f.Cubes[0].w)
+	neg := make([]uint64, nw)
+	pos := make([]uint64, nw)
+	const odd = 0x5555555555555555
+	for _, c := range f.Cubes {
+		for i, x := range c.w {
+			neg[i] |= x &^ (x >> 1) & odd
+			pos[i] |= (x >> 1) &^ x & odd
+		}
+	}
+	for i := range neg {
+		if neg[i]&pos[i] != 0 {
+			return false
+		}
+	}
+	return true
+}
+
 // anyBoundVar returns some variable bound in some cube, or -1.
 func (f *Cover) anyBoundVar() int {
 	for _, c := range f.Cubes {

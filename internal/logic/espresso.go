@@ -27,6 +27,12 @@ func (a cost) less(b cost) bool {
 // don't-care set dc: the result r satisfies  f ⊆ r ⊆ f + dc.
 // dc may be nil (empty don't-care set). f is not modified.
 func Simplify(f, dc *Cover) *Cover {
+	return simplify(f, dc, true)
+}
+
+// simplify is Simplify with the early-exit shortcuts gated, so the
+// property suite can pin the shortcut path against the full loop.
+func simplify(f, dc *Cover, shortcuts bool) *Cover {
 	if dc == nil {
 		dc = Zero(f.N)
 	}
@@ -41,6 +47,16 @@ func Simplify(f, dc *Cover) *Cover {
 	// Quick win: if f + dc is a tautology, the function can be 1.
 	if Or(r, dc).IsTautology() {
 		return One(f.N)
+	}
+	// Early exit: with an empty don't-care set, an SCC-reduced unate cover
+	// (a single cube is trivially unate) is a fixed point of the loop. In a
+	// unate cover containment coincides with single-cube containment, so no
+	// cube can be raised (the raised cube would have to fit inside another,
+	// meaning SCC would already have dropped the original) and irredundant
+	// cannot remove anything SCC kept — the loop below would break on its
+	// first iteration and return this exact cover.
+	if shortcuts && dc.IsZero() && (len(r.Cubes) == 1 || r.IsUnate()) {
+		return r
 	}
 	best := r.Clone()
 	for iter := 0; iter < 8; iter++ {
@@ -70,15 +86,17 @@ func expand(f, dc *Cover) {
 		if covered[i] {
 			continue
 		}
+		// Raise literals in place on the clone, restoring the ones that do
+		// not survive the containment check — no per-raise cube allocation.
 		c := f.Cubes[i].Clone()
 		for v := 0; v < f.N; v++ {
 			l := c.Lit(v)
 			if l != LitNeg && l != LitPos {
 				continue
 			}
-			raised := c.WithLit(v, LitBoth)
-			if upper.CoversCube(raised) {
-				c = raised
+			c.SetLit(v, LitBoth)
+			if !upper.CoversCube(c) {
+				c.SetLit(v, l)
 			}
 		}
 		// Drop not-yet-processed and already-kept cubes contained in c.
@@ -109,16 +127,16 @@ func irredundant(f, dc *Cover) {
 		return f.Cubes[order[a]].CountLits() > f.Cubes[order[b]].CountLits()
 	})
 	removed := make([]bool, len(f.Cubes))
+	rest := NewCover(f.N)
+	rest.Cubes = make([]Cube, 0, len(f.Cubes)+len(dc.Cubes))
 	for _, i := range order {
-		rest := NewCover(f.N)
+		rest.Cubes = rest.Cubes[:0]
 		for j, d := range f.Cubes {
 			if j != i && !removed[j] {
 				rest.Cubes = append(rest.Cubes, d)
 			}
 		}
-		for _, d := range dc.Cubes {
-			rest.Cubes = append(rest.Cubes, d)
-		}
+		rest.Cubes = append(rest.Cubes, dc.Cubes...)
 		if rest.CoversCube(f.Cubes[i]) {
 			removed[i] = true
 		}
@@ -135,17 +153,17 @@ func irredundant(f, dc *Cover) {
 // reduce shrinks each cube to the smallest cube that still covers its
 // essential part, enabling a different expansion on the next pass.
 func reduce(f, dc *Cover) {
+	rest := NewCover(f.N)
+	rest.Cubes = make([]Cube, 0, len(f.Cubes)+len(dc.Cubes))
 	for i := range f.Cubes {
 		c := f.Cubes[i]
-		rest := NewCover(f.N)
+		rest.Cubes = rest.Cubes[:0]
 		for j, d := range f.Cubes {
 			if j != i {
 				rest.Cubes = append(rest.Cubes, d)
 			}
 		}
-		for _, d := range dc.Cubes {
-			rest.Cubes = append(rest.Cubes, d)
-		}
+		rest.Cubes = append(rest.Cubes, dc.Cubes...)
 		// c_reduced = c ∩ supercube( (rest|c)' )
 		comp := rest.Cofactor(c).Complement()
 		if len(comp.Cubes) == 0 {

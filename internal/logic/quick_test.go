@@ -179,3 +179,84 @@ func TestQuickXorProperties(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// randUnateCover draws a random unate cover: each variable gets a fixed
+// phase it may appear in.
+func randUnateCover(r *rand.Rand, n, maxCubes int) *Cover {
+	phase := make([]Lit, n)
+	for v := range phase {
+		if r.Intn(2) == 0 {
+			phase[v] = LitPos
+		} else {
+			phase[v] = LitNeg
+		}
+	}
+	f := NewCover(n)
+	k := r.Intn(maxCubes + 1)
+	for i := 0; i < k; i++ {
+		c := NewCube(n)
+		for v := 0; v < n; v++ {
+			if r.Intn(2) == 0 {
+				c.SetLit(v, phase[v])
+			}
+		}
+		f.Add(c)
+	}
+	return f
+}
+
+func TestQuickIsUnateMatchesDefinition(t *testing.T) {
+	r := rand.New(rand.NewSource(29))
+	for i := 0; i < 300; i++ {
+		var f *Cover
+		if i%2 == 0 {
+			f = randUnateCover(r, quickVars, 6)
+		} else {
+			f = randCover(r, quickVars, 6)
+		}
+		// Reference definition: a variable bound positively in one cube and
+		// negatively in another makes the cover binate.
+		binate := false
+		for v := 0; v < f.N && !binate; v++ {
+			pos, neg := false, false
+			for _, c := range f.Cubes {
+				switch c.Lit(v) {
+				case LitPos:
+					pos = true
+				case LitNeg:
+					neg = true
+				}
+			}
+			binate = pos && neg
+		}
+		if f.IsUnate() == binate {
+			t.Fatalf("IsUnate=%v but reference says binate=%v for\n%v", f.IsUnate(), binate, f)
+		}
+	}
+}
+
+// TestQuickSimplifyShortcutMatchesFullLoop pins the unate/single-cube
+// early exit of Simplify against the ungated expand/irredundant loop: the
+// shortcut must return a structurally identical cover (same cubes, same
+// order), not merely an equivalent one — tablegen output depends on it.
+func TestQuickSimplifyShortcutMatchesFullLoop(t *testing.T) {
+	r := rand.New(rand.NewSource(31))
+	for i := 0; i < 300; i++ {
+		var f *Cover
+		if i%2 == 0 {
+			f = randUnateCover(r, quickVars, 6)
+		} else {
+			f = randCover(r, quickVars, 6)
+		}
+		got := simplify(f, nil, true)
+		want := simplify(f, nil, false)
+		if len(got.Cubes) != len(want.Cubes) {
+			t.Fatalf("cube count differs: shortcut\n%v\nfull\n%v\ninput\n%v", got, want, f)
+		}
+		for j := range got.Cubes {
+			if got.Cubes[j].String() != want.Cubes[j].String() {
+				t.Fatalf("cube %d differs: shortcut\n%v\nfull\n%v\ninput\n%v", j, got, want, f)
+			}
+		}
+	}
+}

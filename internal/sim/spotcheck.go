@@ -1,0 +1,31 @@
+package sim
+
+// SpotCheck is one random-simulation spot-check budget: how many cycles to
+// drive and which RNG seed to use.
+type SpotCheck struct {
+	Cycles int
+	Seed   int64
+}
+
+// SpotCheckConfig collects the spot-check budgets used across the
+// pipeline, replacing the magic (cycles, seed) pairs that were duplicated
+// at each call site.
+type SpotCheckConfig struct {
+	// Verify is the flows fallback verifier budget, used when exact
+	// sequential verification exceeds its BDD limits.
+	Verify SpotCheck
+	// CLI is the final end-to-end check run by cmd/resyn and cmd/retime
+	// (overridable there via -sim-cycles).
+	CLI SpotCheck
+	// Smoke is the cheap pre-commit check guard.Tx runs before accepting a
+	// transformation.
+	Smoke SpotCheck
+}
+
+// DefaultSpotCheck holds the default budgets consumed by internal/flows,
+// internal/guard, cmd/resyn and cmd/retime.
+var DefaultSpotCheck = SpotCheckConfig{
+	Verify: SpotCheck{Cycles: 3000, Seed: 1999},
+	CLI:    SpotCheck{Cycles: 5000, Seed: 1},
+	Smoke:  SpotCheck{Cycles: 64, Seed: 1},
+}
