@@ -42,6 +42,7 @@ import (
 
 	"repro/internal/bench"
 	"repro/internal/bitsim"
+	"repro/internal/buildinfo"
 	"repro/internal/flows"
 	"repro/internal/genlib"
 	"repro/internal/guard"
@@ -69,6 +70,9 @@ type circuitReport struct {
 	WallMS   float64                `json:"wall_ms"`
 	Error    string                 `json:"error,omitempty"`
 	Skipped  bool                   `json:"skipped,omitempty"`
+	// TraceSkipped counts malformed JSONL trace lines tolerated by
+	// obs.ReadEvents (0 on a healthy run).
+	TraceSkipped int `json:"trace_skipped,omitempty"`
 }
 
 type benchReport struct {
@@ -92,7 +96,13 @@ func main() {
 	simBench := flag.Bool("sim-bench", false, "benchmark scalar vs bit-parallel random simulation instead of the flows")
 	simOut := flag.String("sim-out", "BENCH_sim.json", "output JSON file for -sim-bench")
 	simCycles := flag.Int("sim-cycles", 256, "cycles per simulation sweep for -sim-bench")
+	metricsOut := flag.String("metrics", "", "write a Prometheus text dump of run metrics to this file")
+	version := flag.Bool("version", false, "print version and exit")
 	flag.Parse()
+	if *version {
+		fmt.Println("benchflows", buildinfo.Version())
+		return
+	}
 
 	reachLim, err := reach.FlagLimits(reach.DefaultLimits, *partition, *order, *partitionNodes, *reorder)
 	if err != nil {
@@ -125,10 +135,14 @@ func main() {
 	}
 
 	lib := genlib.Lib2()
+	var reg *obs.Registry
+	if *metricsOut != "" {
+		reg = obs.NewRegistry()
+	}
 	rep := benchReport{Schema: "bench_flows/v1"}
 	reports, err := parexec.Map(context.Background(), *workers, suite,
 		func(_ context.Context, _ int, c bench.Circuit) (circuitReport, error) {
-			return runCircuit(c, lib, budget, reachLim, *skipLarge), nil
+			return runCircuit(c, lib, budget, reachLim, *skipLarge, reg), nil
 		})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "benchflows:", err)
@@ -159,9 +173,20 @@ func main() {
 		os.Exit(1)
 	}
 	fmt.Printf("wrote %s (%d circuits)\n", *out, len(rep.Circuits))
+	if *metricsOut != "" {
+		reg.SampleRuntime()
+		mf, merr := os.Create(*metricsOut)
+		if merr != nil {
+			fmt.Fprintln(os.Stderr, "benchflows:", merr)
+			os.Exit(1)
+		}
+		reg.WritePrometheus(mf)
+		mf.Close()
+		fmt.Printf("wrote metrics to %s\n", *metricsOut)
+	}
 }
 
-func runCircuit(c bench.Circuit, lib *genlib.Library, budget guard.Budget, lim reach.Limits, skipLarge bool) circuitReport {
+func runCircuit(c bench.Circuit, lib *genlib.Library, budget guard.Budget, lim reach.Limits, skipLarge bool, reg *obs.Registry) circuitReport {
 	cr := circuitReport{Circuit: c.Name, Flows: map[string]flowMetrics{}}
 	src, err := c.Build()
 	if err != nil {
@@ -176,6 +201,9 @@ func runCircuit(c bench.Circuit, lib *genlib.Library, budget guard.Budget, lim r
 	}
 	var buf bytes.Buffer
 	tr := obs.NewJSON(&buf)
+	if reg != nil {
+		tr.SetRegistry(reg)
+	}
 	start := time.Now()
 	sd, ret, rsyn, err := flows.RunAllCtx(context.Background(), src, lib,
 		flows.Config{Tracer: tr, Budget: budget, Reach: lim})
@@ -191,11 +219,12 @@ func runCircuit(c bench.Circuit, lib *genlib.Library, budget guard.Budget, lim r
 
 	// Per-pass durations come from the JSONL stream, not the in-memory
 	// tree: this keeps the command an honest consumer of -stats-json.
-	evs, err := obs.ReadEvents(&buf)
+	evs, skipped, err := obs.ReadEvents(&buf)
 	if err != nil {
 		cr.Error = "trace stream unreadable: " + err.Error()
 		return cr
 	}
+	cr.TraceSkipped = skipped
 	cr.SpanMS = map[string]float64{}
 	for _, e := range evs {
 		if e.Ev == "span_end" {

@@ -17,7 +17,7 @@ import (
 	"os"
 
 	"repro/internal/blif"
-	"repro/internal/core"
+	"repro/internal/buildinfo"
 	"repro/internal/flows"
 	"repro/internal/genlib"
 	"repro/internal/guard"
@@ -27,7 +27,6 @@ import (
 	"repro/internal/reach"
 	"repro/internal/seqverify"
 	"repro/internal/sim"
-	"repro/internal/timing"
 )
 
 func main() {
@@ -45,7 +44,13 @@ func main() {
 	partitionNodes := flag.Int("partition-nodes", 0, "cluster node-size threshold for -partition on (0 = default)")
 	reorder := flag.Bool("reorder", false, "enable dynamic BDD variable reordering (sifting) on node-count blowup")
 	simCycles := flag.Int("sim-cycles", sim.DefaultSpotCheck.CLI.Cycles, "random-simulation cycles for the -verify fallback when the state space is too large for the exact check")
+	metricsOut := flag.String("metrics", "", "write a Prometheus text dump of run metrics to this file")
+	version := flag.Bool("version", false, "print version and exit")
 	flag.Parse()
+	if *version {
+		fmt.Println("resyn", buildinfo.Version())
+		return
+	}
 	if *in == "" {
 		flag.Usage()
 		os.Exit(2)
@@ -55,7 +60,7 @@ func main() {
 		fatal(err)
 	}
 	var tr *obs.Tracer
-	if *trace || *statsJSON != "" {
+	if *trace || *statsJSON != "" || *metricsOut != "" {
 		tr = obs.New()
 		if *statsJSON != "" {
 			jf, err := os.Create(*statsJSON)
@@ -65,6 +70,11 @@ func main() {
 			defer jf.Close()
 			tr.SetJSON(jf)
 		}
+	}
+	var reg *obs.Registry
+	if *metricsOut != "" {
+		reg = obs.NewRegistry()
+		tr.SetRegistry(reg)
 	}
 	f, err := os.Open(*in)
 	if err != nil {
@@ -97,43 +107,7 @@ func main() {
 		Budget: guard.Budget{Flow: *timeout, Pass: *passTimeout},
 		Reach:  reachLim,
 	}
-	var result *flows.Result
-	switch *flow {
-	case "script":
-		result, err = flows.ScriptDelayCtx(ctx, src, lib, cfg)
-	case "retime":
-		var sd *flows.Result
-		sd, err = flows.ScriptDelayCtx(ctx, src, lib, cfg)
-		if err == nil {
-			result, err = flows.RetimeCombOptCtx(ctx, sd.Net, lib, cfg)
-		}
-	case "resyn":
-		var sd *flows.Result
-		sd, err = flows.ScriptDelayCtx(ctx, src, lib, cfg)
-		if err == nil {
-			result, err = flows.ResynthesisCtx(ctx, sd.Net, lib, cfg)
-		}
-	case "core":
-		// Raw Algorithm 1 under the unit-delay model, no mapping; the flow
-		// budget bounds the whole iterated run.
-		cctx, cancel := cfg.Budget.FlowContext(ctx)
-		res, cerr := core.ResynthesizeIterateCtx(cctx, src, core.Options{Tracer: tr}, 4)
-		cancel()
-		if cerr != nil {
-			fatal(cerr)
-		}
-		p, _ := timing.Period(res.Network, timing.UnitDelay{})
-		result = &flows.Result{
-			Net:     res.Network,
-			PrefixK: res.PrefixK,
-			Metrics: flows.Metrics{Regs: len(res.Network.Latches), Clk: p, Area: float64(res.Network.NumLits())},
-		}
-		if !res.Applied {
-			result.Note = "not applied: " + res.Reason
-		}
-	default:
-		fatal(fmt.Errorf("unknown flow %q", *flow))
-	}
+	result, err := flows.RunFlow(ctx, *flow, src, lib, cfg)
 	if err != nil {
 		fatal(err)
 	}
@@ -171,6 +145,25 @@ func main() {
 		}
 		fmt.Printf("wrote %s\n", *out)
 	}
+	if *metricsOut != "" {
+		if err := writeMetrics(*metricsOut, reg); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("wrote metrics to %s\n", *metricsOut)
+	}
+}
+
+// writeMetrics dumps the registry (plus a final runtime sample) as
+// Prometheus text, the same exposition resynd serves from /metrics.
+func writeMetrics(path string, reg *obs.Registry) error {
+	reg.SampleRuntime()
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	reg.WritePrometheus(f)
+	return nil
 }
 
 func fatal(err error) {

@@ -1,0 +1,170 @@
+// Command resynd serves the resynthesis flows over HTTP: submit a netlist
+// and a flow name, follow per-pass progress live over SSE, and scrape
+// Prometheus metrics. Identical submissions are content-addressed, so
+// repeats are answered from the job cache.
+//
+// Usage:
+//
+//	resynd [-addr :8080] [-workers N] [-queue N] [-job-timeout 5m]
+//	       [-timeout 1m] [-pass-timeout 30s] [-debug]
+//	       [-partition on|off] [-order topo|positional] [-partition-nodes N] [-reorder]
+//
+//	resynd -loadgen [-target http://host:8080] [-qps 2] [-duration 10s]
+//	       [-circuits bbtas,s27,ex6] [-flow resyn] [-loadgen-verify] [-out BENCH_serve.json]
+//
+// With -loadgen and no -target, an in-process server is booted on an
+// ephemeral port and torn down after the run, so a single command produces
+// a self-contained BENCH_serve.json.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"repro/internal/buildinfo"
+	"repro/internal/guard"
+	"repro/internal/reach"
+	"repro/internal/serve"
+	"repro/internal/sim"
+)
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address")
+	workers := flag.Int("workers", 0, "concurrent jobs (<=0 = GOMAXPROCS)")
+	queue := flag.Int("queue", 64, "queued jobs before submissions shed with 503")
+	jobTimeout := flag.Duration("job-timeout", 5*time.Minute, "wall-clock budget per job, flows + verification (0 = unbounded)")
+	timeout := flag.Duration("timeout", 0, "wall-clock budget per flow within a job (0 = unbounded)")
+	passTimeout := flag.Duration("pass-timeout", 0, "wall-clock budget per pass within a flow (0 = unbounded)")
+	debug := flag.Bool("debug", false, "mount net/http/pprof under /debug/pprof/")
+	partition := flag.String("partition", "on", "partitioned transition relations for state enumeration: on | off")
+	order := flag.String("order", "topo", "BDD variable order: topo | positional")
+	partitionNodes := flag.Int("partition-nodes", 0, "cluster node-size threshold for -partition on (0 = default)")
+	reorder := flag.Bool("reorder", false, "enable dynamic BDD variable reordering (sifting) on node-count blowup")
+	simCycles := flag.Int("sim-cycles", sim.DefaultSpotCheck.CLI.Cycles, "random-simulation cycles for the verification fallback")
+	version := flag.Bool("version", false, "print version and exit")
+
+	loadgen := flag.Bool("loadgen", false, "run the load generator instead of serving")
+	target := flag.String("target", "", "loadgen: base URL of a running resynd (empty = boot an in-process server)")
+	qps := flag.Float64("qps", 2, "loadgen: submissions per second")
+	duration := flag.Duration("duration", 10*time.Second, "loadgen: submission window")
+	circuits := flag.String("circuits", "", "loadgen: comma-separated bench circuits (default bbtas,s27,ex6)")
+	flow := flag.String("flow", "resyn", "loadgen: flow submitted with every request")
+	lgVerify := flag.Bool("loadgen-verify", false, "loadgen: request verification on every job")
+	out := flag.String("out", "BENCH_serve.json", "loadgen: output report file")
+	flag.Parse()
+
+	if *version {
+		fmt.Println("resynd", buildinfo.Version())
+		return
+	}
+	reachLim, err := reach.FlagLimits(reach.DefaultLimits, *partition, *order, *partitionNodes, *reorder)
+	if err != nil {
+		fatal(err)
+	}
+	cfg := serve.Config{
+		Workers:   *workers,
+		Queue:     *queue,
+		Budget:    guard.Budget{Job: *jobTimeout, Flow: *timeout, Pass: *passTimeout},
+		Reach:     reachLim,
+		SimCycles: *simCycles,
+		Version:   buildinfo.Version(),
+	}
+
+	if *loadgen {
+		if err := runLoadgen(cfg, *target, *qps, *duration, *circuits, *flow, *lgVerify, *out, *debug); err != nil {
+			fatal(err)
+		}
+		return
+	}
+
+	s := serve.New(cfg)
+	defer s.Close()
+	stopSampler := s.Registry().StartRuntimeSampler(5 * time.Second)
+	defer stopSampler()
+
+	srv := &http.Server{Addr: *addr, Handler: s.Handler(*debug)}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	errc := make(chan error, 1)
+	go func() { errc <- srv.ListenAndServe() }()
+	fmt.Printf("resynd %s listening on %s (workers=%d queue=%d debug=%v)\n",
+		buildinfo.Version(), *addr, *workers, *queue, *debug)
+
+	select {
+	case err := <-errc:
+		if !errors.Is(err, http.ErrServerClosed) {
+			fatal(err)
+		}
+	case <-ctx.Done():
+		fmt.Println("resynd: shutting down")
+		shCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		srv.Shutdown(shCtx)
+	}
+}
+
+// runLoadgen replays benchmark traffic against target (or an in-process
+// server when target is empty) and writes the bench_serve/v1 report.
+func runLoadgen(cfg serve.Config, target string, qps float64, duration time.Duration, circuits, flow string, verify bool, out string, debug bool) error {
+	var names []string
+	if circuits != "" {
+		for _, n := range strings.Split(circuits, ",") {
+			if n = strings.TrimSpace(n); n != "" {
+				names = append(names, n)
+			}
+		}
+	}
+	if target == "" {
+		s := serve.New(cfg)
+		defer s.Close()
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			return err
+		}
+		srv := &http.Server{Handler: s.Handler(debug)}
+		go srv.Serve(ln)
+		defer srv.Close()
+		target = "http://" + ln.Addr().String()
+		fmt.Printf("resynd loadgen: in-process server at %s\n", target)
+	}
+	rep, err := serve.RunLoad(serve.LoadConfig{
+		Target:   target,
+		QPS:      qps,
+		Duration: duration,
+		Circuits: names,
+		Flow:     flow,
+		Verify:   verify,
+		Log:      os.Stderr,
+	})
+	if err != nil {
+		return err
+	}
+	f, err := os.Create(out)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(rep); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s: %d jobs, p50 %.1fms p99 %.1fms, %.2f jobs/s, cache hit rate %.2f\n",
+		out, rep.Completed, rep.LatencyMsP50, rep.LatencyMsP99, rep.JobsPerSec, rep.CacheHitRate)
+	return nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "resynd:", err)
+	os.Exit(1)
+}

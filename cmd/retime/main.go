@@ -13,6 +13,7 @@ import (
 	"os"
 
 	"repro/internal/blif"
+	"repro/internal/buildinfo"
 	"repro/internal/reach"
 	"repro/internal/retime"
 	"repro/internal/seqverify"
@@ -30,7 +31,12 @@ func main() {
 	partitionNodes := flag.Int("partition-nodes", 0, "cluster node-size threshold for -partition on (0 = default)")
 	reorder := flag.Bool("reorder", false, "enable dynamic BDD variable reordering (sifting) on node-count blowup")
 	simCycles := flag.Int("sim-cycles", sim.DefaultSpotCheck.CLI.Cycles, "random-simulation cycles for the -verify fallback when the state space is too large for the exact check")
+	version := flag.Bool("version", false, "print version and exit")
 	flag.Parse()
+	if *version {
+		fmt.Println("retime", buildinfo.Version())
+		return
+	}
 	if *in == "" {
 		flag.Usage()
 		os.Exit(2)

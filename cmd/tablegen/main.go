@@ -23,6 +23,7 @@ import (
 	"os"
 	"strings"
 
+	"repro/internal/buildinfo"
 	"repro/internal/guard"
 	"repro/internal/obs"
 	"repro/internal/reach"
@@ -43,7 +44,13 @@ func main() {
 	order := flag.String("order", "topo", "BDD variable order: topo | positional")
 	partitionNodes := flag.Int("partition-nodes", 0, "cluster node-size threshold for -partition on (0 = default)")
 	reorder := flag.Bool("reorder", false, "enable dynamic BDD variable reordering (sifting) on node-count blowup")
+	metricsOut := flag.String("metrics", "", "write a Prometheus text dump of run metrics to this file")
+	version := flag.Bool("version", false, "print version and exit")
 	flag.Parse()
+	if *version {
+		fmt.Println("tablegen", buildinfo.Version())
+		return
+	}
 
 	reachLim, err := reach.FlagLimits(reach.DefaultLimits, *partition, *order, *partitionNodes, *reorder)
 	if err != nil {
@@ -64,6 +71,9 @@ func main() {
 	if *trace {
 		opt.Tracer = obs.New()
 	}
+	if *metricsOut != "" {
+		opt.Registry = obs.NewRegistry()
+	}
 	if *statsJSON != "" {
 		jf, err := os.Create(*statsJSON)
 		if err != nil {
@@ -78,6 +88,16 @@ func main() {
 	if *trace {
 		fmt.Println()
 		opt.Tracer.WriteTree(os.Stdout)
+	}
+	if *metricsOut != "" {
+		opt.Registry.SampleRuntime()
+		mf, merr := os.Create(*metricsOut)
+		if merr != nil {
+			fmt.Fprintln(os.Stderr, "tablegen:", merr)
+			os.Exit(1)
+		}
+		opt.Registry.WritePrometheus(mf)
+		mf.Close()
 	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "tablegen:", err)

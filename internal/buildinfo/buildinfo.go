@@ -1,0 +1,44 @@
+// Package buildinfo derives a human-readable version string for every
+// binary in this module from the build metadata the Go toolchain embeds —
+// no ldflags, no generated files. All five cmds expose it behind -version,
+// and cmd/resynd additionally reports it from /healthz so a scraper can
+// tell which build is serving.
+package buildinfo
+
+import (
+	"fmt"
+	"runtime"
+	"runtime/debug"
+)
+
+// Version reports "<module-version> (<vcs-revision>[,dirty]) <go-version>".
+// Fields degrade gracefully: binaries built outside a VCS checkout (or from
+// a stripped source tree) report "devel" and omit the revision.
+func Version() string {
+	version := "devel"
+	revision := ""
+	dirty := false
+	if bi, ok := debug.ReadBuildInfo(); ok {
+		if bi.Main.Version != "" && bi.Main.Version != "(devel)" {
+			version = bi.Main.Version
+		}
+		for _, s := range bi.Settings {
+			switch s.Key {
+			case "vcs.revision":
+				revision = s.Value
+			case "vcs.modified":
+				dirty = s.Value == "true"
+			}
+		}
+	}
+	if len(revision) > 12 {
+		revision = revision[:12]
+	}
+	switch {
+	case revision != "" && dirty:
+		return fmt.Sprintf("%s (%s,dirty) %s", version, revision, runtime.Version())
+	case revision != "":
+		return fmt.Sprintf("%s (%s) %s", version, revision, runtime.Version())
+	}
+	return fmt.Sprintf("%s %s", version, runtime.Version())
+}

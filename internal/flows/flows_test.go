@@ -212,9 +212,12 @@ func TestResynthesisCountersConsistent(t *testing.T) {
 		t.Fatal("expected flow/pass/step spans missing from the tree")
 	}
 	// The JSON-lines stream must parse and contain matching start/end pairs.
-	evs, err := obs.ReadEvents(&buf)
+	evs, skipped, err := obs.ReadEvents(&buf)
 	if err != nil {
 		t.Fatal(err)
+	}
+	if skipped != 0 {
+		t.Fatalf("tracer emitted %d malformed JSONL lines", skipped)
 	}
 	starts, ends := 0, 0
 	for _, e := range evs {

@@ -113,13 +113,23 @@ func (e *RollbackError) Error() string {
 
 func (e *RollbackError) Unwrap() error { return e.Cause }
 
-// Budget bounds pass and flow execution in wall-clock time. Zero fields
-// mean "unbounded".
+// Budget bounds job, flow, and pass execution in wall-clock time. Zero
+// fields mean "unbounded".
 type Budget struct {
+	// Job bounds one whole unit of submitted work — for the serving layer
+	// (internal/serve) a job chains flows plus verification, so Job sits
+	// above Flow the way Flow sits above Pass.
+	Job time.Duration
 	// Flow bounds one whole flow (script.delay, retime+comb.opt, …).
 	Flow time.Duration
 	// Pass bounds each individual pass inside a flow.
 	Pass time.Duration
+}
+
+// JobContext derives the job-level deadline context. The cancel func must
+// always be called.
+func (b Budget) JobContext(ctx context.Context) (context.Context, context.CancelFunc) {
+	return withBudget(ctx, "job", b.Job)
 }
 
 // FlowContext derives the flow-level deadline context. The cancel func must

@@ -65,6 +65,23 @@ func TestBudgetContexts(t *testing.T) {
 	if !strings.Contains(err.Error(), "pass deadline") {
 		t.Fatalf("cause must say which level expired: %v", err)
 	}
+	// Job sits above Flow: a zero Job budget passes through, a tiny one
+	// expires with a job-level cause.
+	jc, cancel := Budget{}.JobContext(ctx)
+	cancel()
+	if jc != ctx {
+		t.Fatal("zero job budget must not derive a new context")
+	}
+	jc, cancel = Budget{Job: time.Nanosecond}.JobContext(ctx)
+	defer cancel()
+	time.Sleep(2 * time.Millisecond)
+	err = Check(jc, "whole-job")
+	if !errors.Is(err, ErrBudget) || !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("expired job budget must match ErrBudget and DeadlineExceeded: %v", err)
+	}
+	if !strings.Contains(err.Error(), "job deadline") {
+		t.Fatalf("cause must say the job level expired: %v", err)
+	}
 }
 
 func TestRunContainsPanic(t *testing.T) {

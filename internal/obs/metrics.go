@@ -1,0 +1,532 @@
+package obs
+
+// This file is the live metrics half of the observability layer: a
+// concurrency-safe registry of counters, gauges, and bucketed histograms
+// with Prometheus text exposition, a runtime/metrics sampler (heap, GC,
+// goroutines), and the bridge that feeds the registry from the existing
+// Span/Add call sites — attach a Registry to a Tracer with SetRegistry and
+// every span end observes a latency histogram, every counter Add
+// increments a registry counter, and every Max raises a peak gauge.
+// Stdlib only; the exposition format follows the Prometheus text format
+// closely enough for any scraper.
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"runtime/metrics"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Labels attach dimensions to a metric ({span="mapper.map_delay"}).
+type Labels map[string]string
+
+// DefLatencyBuckets are the default histogram buckets for wall-clock
+// durations in seconds: 0.5ms to 60s, roughly logarithmic — pass latencies
+// in this repository span microsecond steps to multi-second BDD fixpoints.
+var DefLatencyBuckets = []float64{0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10, 30, 60}
+
+// ExponentialBuckets returns n bucket bounds starting at start, each
+// factor times the previous (node counts, vectors/sec, queue depths).
+func ExponentialBuckets(start, factor float64, n int) []float64 {
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = start
+		start *= factor
+	}
+	return out
+}
+
+// peakBuckets covers integer peak metrics (BDD nodes, frontier sizes):
+// 1 … ~4.2M in powers of 4.
+var peakBuckets = ExponentialBuckets(1, 4, 12)
+
+// rateBuckets covers throughput metrics (bitsim vectors/sec):
+// 1k … ~4.2G in powers of 4.
+var rateBuckets = ExponentialBuckets(1000, 4, 12)
+
+// Registry is a concurrency-safe metrics registry. The zero value is not
+// usable; construct with NewRegistry. A nil *Registry is a valid no-op
+// (handles it returns are nil and their methods no-ops), matching the
+// package's nil-tracer discipline.
+type Registry struct {
+	mu       sync.Mutex
+	families map[string]*family
+}
+
+type family struct {
+	name, help, typ string
+	buckets         []float64 // histograms only
+	mu              sync.Mutex
+	series          map[string]*series
+	keys            []string // insertion-ordered; sorted at exposition
+}
+
+type series struct {
+	labels string        // rendered `k="v",k2="v2"` (no braces) or ""
+	bits   atomic.Uint64 // counter/gauge value, or histogram sum, as float64 bits
+	count  atomic.Int64  // histogram observation count
+	bucket []atomic.Int64
+}
+
+func (s *series) load() float64   { return math.Float64frombits(s.bits.Load()) }
+func (s *series) store(v float64) { s.bits.Store(math.Float64bits(v)) }
+func (s *series) addFloat(v float64) {
+	for {
+		old := s.bits.Load()
+		nw := math.Float64bits(math.Float64frombits(old) + v)
+		if s.bits.CompareAndSwap(old, nw) {
+			return
+		}
+	}
+}
+func (s *series) maxFloat(v float64) {
+	for {
+		old := s.bits.Load()
+		if math.Float64frombits(old) >= v {
+			return
+		}
+		if s.bits.CompareAndSwap(old, math.Float64bits(v)) {
+			return
+		}
+	}
+}
+
+// NewRegistry creates an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{families: make(map[string]*family)}
+}
+
+func (r *Registry) family(name, help, typ string, buckets []float64) *family {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f, ok := r.families[name]
+	if !ok {
+		f = &family{name: name, help: help, typ: typ, buckets: buckets, series: make(map[string]*series)}
+		r.families[name] = f
+	}
+	if f.typ != typ {
+		return nil // type clash: hand back a no-op
+	}
+	return f
+}
+
+func (f *family) at(labels Labels) *series {
+	key := renderLabels(labels)
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	s, ok := f.series[key]
+	if !ok {
+		s = &series{labels: key}
+		if f.typ == "histogram" {
+			s.bucket = make([]atomic.Int64, len(f.buckets)+1) // +Inf last
+		}
+		f.series[key] = s
+		f.keys = append(f.keys, key)
+	}
+	return s
+}
+
+// renderLabels produces the canonical sorted, escaped label body.
+func renderLabels(labels Labels) string {
+	if len(labels) == 0 {
+		return ""
+	}
+	keys := make([]string, 0, len(labels))
+	for k := range labels {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var b strings.Builder
+	for i, k := range keys {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(k)
+		b.WriteString(`="`)
+		b.WriteString(escapeLabel(labels[k]))
+		b.WriteByte('"')
+	}
+	return b.String()
+}
+
+func escapeLabel(v string) string {
+	if !strings.ContainsAny(v, "\\\"\n") {
+		return v
+	}
+	r := strings.NewReplacer(`\`, `\\`, `"`, `\"`, "\n", `\n`)
+	return r.Replace(v)
+}
+
+// Counter is a monotonically increasing metric handle.
+type Counter struct{ s *series }
+
+// Add increases the counter by v (v must be >= 0; negative adds are
+// ignored to keep the metric monotone).
+func (c *Counter) Add(v float64) {
+	if c == nil || c.s == nil || v < 0 {
+		return
+	}
+	c.s.addFloat(v)
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Value returns the current counter value.
+func (c *Counter) Value() float64 {
+	if c == nil || c.s == nil {
+		return 0
+	}
+	return c.s.load()
+}
+
+// Gauge is a set-to-current-value metric handle.
+type Gauge struct{ s *series }
+
+// Set stores v.
+func (g *Gauge) Set(v float64) {
+	if g == nil || g.s == nil {
+		return
+	}
+	g.s.store(v)
+}
+
+// Add adjusts the gauge by v (may be negative).
+func (g *Gauge) Add(v float64) {
+	if g == nil || g.s == nil {
+		return
+	}
+	g.s.addFloat(v)
+}
+
+// SetMax raises the gauge to v if v is larger (peak-style gauges).
+func (g *Gauge) SetMax(v float64) {
+	if g == nil || g.s == nil {
+		return
+	}
+	g.s.maxFloat(v)
+}
+
+// Value returns the current gauge value.
+func (g *Gauge) Value() float64 {
+	if g == nil || g.s == nil {
+		return 0
+	}
+	return g.s.load()
+}
+
+// Histogram is a bucketed distribution handle.
+type Histogram struct {
+	f *family
+	s *series
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	if h == nil || h.s == nil {
+		return
+	}
+	i := sort.SearchFloat64s(h.f.buckets, v) // first bucket with bound >= v
+	h.s.bucket[i].Add(1)
+	h.s.count.Add(1)
+	h.s.addFloat(v)
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() int64 {
+	if h == nil || h.s == nil {
+		return 0
+	}
+	return h.s.count.Load()
+}
+
+// Counter registers (or finds) a counter series. Safe for concurrent use;
+// the same (name, labels) always yields the same underlying series. A nil
+// registry returns a nil (no-op) handle.
+func (r *Registry) Counter(name, help string, labels Labels) *Counter {
+	if r == nil {
+		return nil
+	}
+	f := r.family(name, help, "counter", nil)
+	if f == nil {
+		return nil
+	}
+	return &Counter{s: f.at(labels)}
+}
+
+// Gauge registers (or finds) a gauge series.
+func (r *Registry) Gauge(name, help string, labels Labels) *Gauge {
+	if r == nil {
+		return nil
+	}
+	f := r.family(name, help, "gauge", nil)
+	if f == nil {
+		return nil
+	}
+	return &Gauge{s: f.at(labels)}
+}
+
+// Histogram registers (or finds) a histogram series with the given bucket
+// upper bounds (ascending; nil selects DefLatencyBuckets). Buckets are
+// fixed by the first registration of the name.
+func (r *Registry) Histogram(name, help string, buckets []float64, labels Labels) *Histogram {
+	if r == nil {
+		return nil
+	}
+	if len(buckets) == 0 {
+		buckets = DefLatencyBuckets
+	}
+	f := r.family(name, help, "histogram", buckets)
+	if f == nil {
+		return nil
+	}
+	return &Histogram{f: f, s: f.at(labels)}
+}
+
+// WritePrometheus renders every family in the Prometheus text exposition
+// format, families and series in sorted order (deterministic output).
+func (r *Registry) WritePrometheus(w io.Writer) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	names := make([]string, 0, len(r.families))
+	for n := range r.families {
+		names = append(names, n)
+	}
+	fams := make([]*family, 0, len(names))
+	sort.Strings(names)
+	for _, n := range names {
+		fams = append(fams, r.families[n])
+	}
+	r.mu.Unlock()
+
+	for _, f := range fams {
+		f.mu.Lock()
+		keys := append([]string(nil), f.keys...)
+		sers := make([]*series, len(keys))
+		for i, k := range keys {
+			sers[i] = f.series[k]
+		}
+		f.mu.Unlock()
+		sort.Sort(&seriesSort{keys, sers})
+
+		if f.help != "" {
+			fmt.Fprintf(w, "# HELP %s %s\n", f.name, strings.ReplaceAll(f.help, "\n", " "))
+		}
+		fmt.Fprintf(w, "# TYPE %s %s\n", f.name, f.typ)
+		for _, s := range sers {
+			switch f.typ {
+			case "histogram":
+				cum := int64(0)
+				for i, ub := range f.buckets {
+					cum += s.bucket[i].Load()
+					fmt.Fprintf(w, "%s_bucket{%sle=%q} %d\n", f.name, seriesPrefix(s.labels), fmtFloat(ub), cum)
+				}
+				cum += s.bucket[len(f.buckets)].Load()
+				fmt.Fprintf(w, "%s_bucket{%sle=\"+Inf\"} %d\n", f.name, seriesPrefix(s.labels), cum)
+				fmt.Fprintf(w, "%s_sum%s %s\n", f.name, braced(s.labels), fmtFloat(s.load()))
+				fmt.Fprintf(w, "%s_count%s %d\n", f.name, braced(s.labels), s.count.Load())
+			default:
+				fmt.Fprintf(w, "%s%s %s\n", f.name, braced(s.labels), fmtFloat(s.load()))
+			}
+		}
+	}
+}
+
+type seriesSort struct {
+	keys []string
+	sers []*series
+}
+
+func (x *seriesSort) Len() int           { return len(x.keys) }
+func (x *seriesSort) Less(i, j int) bool { return x.keys[i] < x.keys[j] }
+func (x *seriesSort) Swap(i, j int) {
+	x.keys[i], x.keys[j] = x.keys[j], x.keys[i]
+	x.sers[i], x.sers[j] = x.sers[j], x.sers[i]
+}
+
+func braced(labels string) string {
+	if labels == "" {
+		return ""
+	}
+	return "{" + labels + "}"
+}
+
+func seriesPrefix(labels string) string {
+	if labels == "" {
+		return ""
+	}
+	return labels + ","
+}
+
+func fmtFloat(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
+
+// --- runtime sampler ---
+
+// SampleRuntime takes one sample of the Go runtime (heap bytes, total
+// memory, goroutines, GC cycles, GC pause p99 estimate) into gauges. It is
+// cheap enough to call on every /metrics scrape.
+func (r *Registry) SampleRuntime() {
+	if r == nil {
+		return
+	}
+	samples := []metrics.Sample{
+		{Name: "/memory/classes/heap/objects:bytes"},
+		{Name: "/memory/classes/total:bytes"},
+		{Name: "/sched/goroutines:goroutines"},
+		{Name: "/gc/cycles/total:gc-cycles"},
+		{Name: "/gc/pauses:seconds"},
+	}
+	metrics.Read(samples)
+	if v, ok := sampleUint(samples[0]); ok {
+		r.Gauge("go_heap_objects_bytes", "Bytes of live heap objects.", nil).Set(v)
+	}
+	if v, ok := sampleUint(samples[1]); ok {
+		r.Gauge("go_memory_total_bytes", "Total bytes mapped by the Go runtime.", nil).Set(v)
+	}
+	if v, ok := sampleUint(samples[2]); ok {
+		r.Gauge("go_goroutines", "Current number of goroutines.", nil).Set(v)
+	}
+	if v, ok := sampleUint(samples[3]); ok {
+		r.Gauge("go_gc_cycles_total", "Completed GC cycles since process start.", nil).Set(v)
+	}
+	if samples[4].Value.Kind() == metrics.KindFloat64Histogram {
+		h := samples[4].Value.Float64Histogram()
+		count, p99 := histogramP99(h)
+		r.Gauge("go_gc_pauses_total", "Stop-the-world GC pauses since process start.", nil).Set(float64(count))
+		r.Gauge("go_gc_pause_p99_seconds", "Estimated 99th-percentile GC pause.", nil).Set(p99)
+	}
+}
+
+func sampleUint(s metrics.Sample) (float64, bool) {
+	if s.Value.Kind() != metrics.KindUint64 {
+		return 0, false
+	}
+	return float64(s.Value.Uint64()), true
+}
+
+// histogramP99 estimates the 99th percentile of a runtime histogram as the
+// upper bound of the bucket containing it.
+func histogramP99(h *metrics.Float64Histogram) (count uint64, p99 float64) {
+	for _, c := range h.Counts {
+		count += c
+	}
+	if count == 0 {
+		return 0, 0
+	}
+	target := uint64(math.Ceil(0.99 * float64(count)))
+	var cum uint64
+	for i, c := range h.Counts {
+		cum += c
+		if cum >= target {
+			// Bucket i spans Buckets[i] .. Buckets[i+1].
+			ub := h.Buckets[i+1]
+			if math.IsInf(ub, 1) {
+				ub = h.Buckets[i]
+			}
+			return count, ub
+		}
+	}
+	return count, h.Buckets[len(h.Buckets)-1]
+}
+
+// StartRuntimeSampler samples the runtime immediately and then every
+// interval (default 5s) until the returned stop function is called. Stop
+// is idempotent. A nil registry returns a no-op.
+func (r *Registry) StartRuntimeSampler(interval time.Duration) (stop func()) {
+	if r == nil {
+		return func() {}
+	}
+	if interval <= 0 {
+		interval = 5 * time.Second
+	}
+	r.SampleRuntime()
+	done := make(chan struct{})
+	go func() {
+		t := time.NewTicker(interval)
+		defer t.Stop()
+		for {
+			select {
+			case <-done:
+				return
+			case <-t.C:
+				r.SampleRuntime()
+			}
+		}
+	}()
+	var once sync.Once
+	return func() { once.Do(func() { close(done) }) }
+}
+
+// --- tracer bridge ---
+//
+// The bridge methods run under the tracer lock (the registry has its own
+// independent locks and never calls back into the tracer, so the order is
+// safe). Handles for the hot counter path are cached per tracer.
+
+// bridgeCounterAdd feeds one Span.Add into the registry:
+// resyn_counter_total{counter=name} += n. Caller holds t.mu.
+func (t *Tracer) bridgeCounterAdd(name string, n int64) {
+	if t.reg == nil {
+		return
+	}
+	c, ok := t.regCounters[name]
+	if !ok {
+		c = t.reg.Counter("resyn_counter_total",
+			"Transformation counters aggregated across all spans (gates duplicated, DCret pairs, BDD ops, bitsim vectors, ...).",
+			Labels{"counter": name})
+		if t.regCounters == nil {
+			t.regCounters = make(map[string]*Counter)
+		}
+		t.regCounters[name] = c
+	}
+	c.Add(float64(n))
+}
+
+// bridgePeak feeds one Span.Max into the registry as a high-water gauge:
+// resyn_peak_max{counter=name}. Caller holds t.mu.
+func (t *Tracer) bridgePeak(name string, v int64) {
+	if t.reg == nil {
+		return
+	}
+	g, ok := t.regPeaks[name]
+	if !ok {
+		g = t.reg.Gauge("resyn_peak_max",
+			"Process-lifetime high-water marks of peak-style counters (BDD nodes, frontier sizes).",
+			Labels{"counter": name})
+		if t.regPeaks == nil {
+			t.regPeaks = make(map[string]*Gauge)
+		}
+		t.regPeaks[name] = g
+	}
+	g.SetMax(float64(v))
+}
+
+// bridgeSpanEnd feeds one span close into the registry: the pass-latency
+// histogram, a distribution histogram per peak-style counter (BDD peak
+// nodes), and the bitsim throughput histogram. Caller holds t.mu.
+func (t *Tracer) bridgeSpanEnd(s *Span) {
+	if t.reg == nil {
+		return
+	}
+	t.reg.Histogram("resyn_span_seconds",
+		"Wall-clock latency per span (flows, passes, steps), labelled by span name.",
+		DefLatencyBuckets, Labels{"span": s.Name}).Observe(s.dur.Seconds())
+	for _, k := range s.maxKeys {
+		t.reg.Histogram("resyn_peak",
+			"Distribution of per-span peak-style counters (BDD peak nodes, frontier sizes).",
+			peakBuckets, Labels{"counter": k}).Observe(float64(s.counters[k]))
+	}
+	if v := s.counters["bitsim_vectors"]; v > 0 && s.dur > 0 {
+		t.reg.Histogram("resyn_bitsim_vectors_per_second",
+			"Bit-parallel simulation throughput per simulation span.",
+			rateBuckets, nil).Observe(float64(v) / s.dur.Seconds())
+	}
+}

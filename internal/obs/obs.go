@@ -1,6 +1,8 @@
 // Package obs is the pipeline-wide observability layer: hierarchical wall-
-// clock spans (flow → pass → step), typed transformation counters, and two
-// sinks — a human-readable summary tree and a JSON-lines event stream.
+// clock spans (flow → pass → step), typed transformation counters, and a
+// fan-out of sinks — a human-readable summary tree, a JSON-lines event
+// stream, live event-bus subscriptions (bus.go), and a Prometheus-style
+// metrics registry (metrics.go).
 //
 // The paper's argument is quantitative (Table I compares flows on
 // registers, clock period, and area), so every flow and pass in this
@@ -8,11 +10,14 @@
 // pairs discovered, literals saved, retiming moves applied/reverted, BDD
 // frontier sizes, mapper candidates tried) and *how long it took*. Any
 // hot-path claim in later PRs must come with a span breakdown from this
-// package.
+// package, and the serving layer (internal/serve) tails the same stream
+// live over SSE.
 //
 // Every method is nil-safe: a nil *Tracer (and the nil *Span it hands out)
 // is a zero-allocation no-op, so instrumented call sites never need to
-// guard. Stdlib only.
+// guard. All methods are safe for concurrent use from multiple goroutines;
+// see the Begin documentation for what concurrent span nesting means.
+// Stdlib only.
 package obs
 
 import (
@@ -23,28 +28,42 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
-// Tracer owns a tree of spans and an optional JSON-lines sink. The zero
-// value is not usable; construct with New or NewJSON. A nil Tracer is a
-// valid no-op.
+// Tracer owns a tree of spans and a set of event sinks. The zero value is
+// not usable; construct with New or NewJSON. A nil Tracer is a valid no-op.
+//
+// Concurrency: every method may be called from any goroutine. The JSON-
+// lines sink is the tracer's first subscriber and is written synchronously
+// under the tracer lock, so its line order matches event order exactly;
+// channel subscriptions (Subscribe) observe the same order.
 type Tracer struct {
 	mu    sync.Mutex
 	root  *Span
 	cur   *Span
 	start time.Time
 	json  io.Writer
+	subs  []*Subscription
+	fns   map[int]func(Event)
+	fnSeq int
+	reg   *Registry
+	seq   atomic.Uint64 // event sequence numbers, monotone per tracer
+	// Cached registry handles for the hot Add/Max paths (see metrics.go).
+	regCounters map[string]*Counter
+	regPeaks    map[string]*Gauge
 }
 
 // Span is one timed region of the pipeline. Spans nest: Begin under an
 // open span creates a child. A nil Span is a valid no-op.
 type Span struct {
 	Name     string
-	tracer   *Tracer
+	tracer   atomic.Pointer[Tracer]
 	parent   *Span
 	children []*Span
 	counters map[string]int64
+	maxKeys  []string // counter names recorded via Max (peak semantics)
 	start    time.Time
 	dur      time.Duration
 	open     bool
@@ -53,7 +72,8 @@ type Span struct {
 // New creates a tracer with no JSON sink.
 func New() *Tracer {
 	t := &Tracer{start: time.Now()}
-	t.root = &Span{tracer: t, start: t.start, open: true}
+	t.root = &Span{start: t.start, open: true}
+	t.root.tracer.Store(t)
 	t.cur = t.root
 	return t
 }
@@ -76,15 +96,51 @@ func (t *Tracer) SetJSON(w io.Writer) {
 	t.mu.Unlock()
 }
 
+// SetRegistry attaches a metrics registry: from now on every span end
+// observes a pass-latency histogram, every counter Add increments a
+// registry counter, and every Max raises a peak gauge (see the bridge in
+// metrics.go). A nil registry detaches.
+func (t *Tracer) SetRegistry(r *Registry) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	t.reg = r
+	t.regCounters = nil
+	t.regPeaks = nil
+	t.mu.Unlock()
+}
+
+// lockTracer locks and returns the tracer currently owning s. Merge moves
+// spans between tracers while holding both locks, so the owner is re-read
+// after acquisition and the lock retried if it changed mid-flight.
+func (s *Span) lockTracer() *Tracer {
+	for {
+		t := s.tracer.Load()
+		t.mu.Lock()
+		if s.tracer.Load() == t {
+			return t
+		}
+		t.mu.Unlock()
+	}
+}
+
 // Begin opens a new span as a child of the innermost open span and makes
 // it current. It returns nil on a nil tracer.
+//
+// Concurrent Begin calls from multiple goroutines are safe: each span is
+// attached under whichever span was current at that instant, so the tree
+// shape interleaves (it reflects wall-clock overlap, not call structure).
+// Workers that need a deterministic tree should trace into private
+// tracers and Merge them back in order, as internal/parexec callers do.
 func (t *Tracer) Begin(name string) *Span {
 	if t == nil {
 		return nil
 	}
 	t.mu.Lock()
 	defer t.mu.Unlock()
-	s := &Span{Name: name, tracer: t, parent: t.cur, start: time.Now(), open: true}
+	s := &Span{Name: name, parent: t.cur, start: time.Now(), open: true}
+	s.tracer.Store(t)
 	t.cur.children = append(t.cur.children, s)
 	t.cur = s
 	t.emit(Event{Ev: "span_start", Span: s.path(), TMs: t.sinceStart(s.start)})
@@ -92,28 +148,45 @@ func (t *Tracer) Begin(name string) *Span {
 }
 
 // End closes the span, records its duration, and pops the current-span
-// cursor back to its parent. Ending an already-closed span is a no-op.
+// cursor back to its parent when the span is on the cursor path (closing
+// any children left open by early returns on the way). Ending a span that
+// is not on the cursor path — another goroutine moved it — only closes
+// the span itself. Ending an already-closed span, or the root, is a no-op.
 func (s *Span) End() {
-	if s == nil {
+	if s == nil || s.parent == nil {
 		return
 	}
-	t := s.tracer
-	t.mu.Lock()
+	t := s.lockTracer()
 	defer t.mu.Unlock()
 	if !s.open {
 		return
 	}
-	s.dur = time.Since(s.start)
-	s.open = false
-	// Close any children left open (defensive: an early return inside a
-	// pass), then pop the cursor to this span's parent.
-	for c := t.cur; c != nil && c != s; c = c.parent {
-		if c.open {
-			c.dur = time.Since(c.start)
-			c.open = false
+	// Pop the cursor only when s is an ancestor of (or is) the current
+	// span; otherwise a concurrent goroutine owns the cursor and closing
+	// unrelated spans would corrupt its nesting.
+	onPath := false
+	for c := t.cur; c != nil; c = c.parent {
+		if c == s {
+			onPath = true
+			break
 		}
 	}
-	t.cur = s.parent
+	if onPath {
+		for c := t.cur; c != s; c = c.parent {
+			if c.open {
+				c.closeNow(t)
+			}
+		}
+		t.cur = s.parent
+	}
+	s.closeNow(t)
+}
+
+// closeNow marks the span closed and emits its end event plus the registry
+// observations. Caller holds t.mu.
+func (s *Span) closeNow(t *Tracer) {
+	s.dur = time.Since(s.start)
+	s.open = false
 	t.emit(Event{
 		Ev:       "span_end",
 		Span:     s.path(),
@@ -121,6 +194,7 @@ func (s *Span) End() {
 		DurMs:    float64(s.dur) / float64(time.Millisecond),
 		Counters: copyCounters(s.counters),
 	})
+	t.bridgeSpanEnd(s)
 }
 
 // Add increments a named counter on the span.
@@ -128,12 +202,12 @@ func (s *Span) Add(name string, n int64) {
 	if s == nil {
 		return
 	}
-	t := s.tracer
-	t.mu.Lock()
+	t := s.lockTracer()
 	if s.counters == nil {
 		s.counters = make(map[string]int64)
 	}
 	s.counters[name] += n
+	t.bridgeCounterAdd(name, n)
 	t.mu.Unlock()
 }
 
@@ -143,13 +217,16 @@ func (s *Span) Max(name string, v int64) {
 	if s == nil {
 		return
 	}
-	t := s.tracer
-	t.mu.Lock()
+	t := s.lockTracer()
 	if s.counters == nil {
 		s.counters = make(map[string]int64)
 	}
+	if _, seen := s.counters[name]; !seen {
+		s.maxKeys = append(s.maxKeys, name)
+	}
 	if v > s.counters[name] {
 		s.counters[name] = v
+		t.bridgePeak(name, v)
 	}
 	t.mu.Unlock()
 }
@@ -159,8 +236,7 @@ func (s *Span) Counter(name string) int64 {
 	if s == nil {
 		return 0
 	}
-	t := s.tracer
-	t.mu.Lock()
+	t := s.lockTracer()
 	defer t.mu.Unlock()
 	return s.counters[name]
 }
@@ -170,8 +246,7 @@ func (s *Span) Dur() time.Duration {
 	if s == nil {
 		return 0
 	}
-	t := s.tracer
-	t.mu.Lock()
+	t := s.lockTracer()
 	defer t.mu.Unlock()
 	if s.open {
 		return time.Since(s.start)
@@ -186,12 +261,16 @@ func (t *Tracer) Add(name string, n int64) {
 	}
 	t.mu.Lock()
 	s := t.cur
+	if s.counters == nil {
+		s.counters = make(map[string]int64)
+	}
+	s.counters[name] += n
+	t.bridgeCounterAdd(name, n)
 	t.mu.Unlock()
-	s.Add(name, n)
 }
 
-// Event emits a free-form named event (with optional fields) to the JSON
-// sink, tagged with the current span path. No-op without a sink.
+// Event emits a free-form named event (with optional fields) to the sinks,
+// tagged with the current span path. No-op without a sink or subscriber.
 func (t *Tracer) Event(name string, fields map[string]any) {
 	if t == nil {
 		return
@@ -209,7 +288,10 @@ func (t *Tracer) Event(name string, fields map[string]any) {
 //
 // sub must be quiescent — its goroutine done, every span ended (any still
 // open are force-closed defensively) — and must not be used afterwards:
-// its spans now belong to t. Merging a tracer into itself is a no-op.
+// its spans now belong to t. (A straggler Span.Add racing the merge is
+// still memory-safe — span ownership is re-checked under the lock — but
+// which tracer receives the count is then unspecified.) Merging a tracer
+// into itself is a no-op.
 func (t *Tracer) Merge(sub *Tracer) {
 	if t == nil || sub == nil || t == sub {
 		return
@@ -220,7 +302,7 @@ func (t *Tracer) Merge(sub *Tracer) {
 	defer sub.mu.Unlock()
 	var adopt func(s, parent *Span)
 	adopt = func(s, parent *Span) {
-		s.tracer = t
+		s.tracer.Store(t)
 		s.parent = parent
 		if s.open {
 			s.dur = time.Since(s.start)
@@ -259,8 +341,7 @@ func (s *Span) Children() []*Span {
 	if s == nil {
 		return nil
 	}
-	t := s.tracer
-	t.mu.Lock()
+	t := s.lockTracer()
 	defer t.mu.Unlock()
 	return append([]*Span(nil), s.children...)
 }
@@ -271,8 +352,7 @@ func (s *Span) Find(name string) *Span {
 	if s == nil {
 		return nil
 	}
-	t := s.tracer
-	t.mu.Lock()
+	t := s.lockTracer()
 	defer t.mu.Unlock()
 	return s.find(name)
 }
@@ -373,15 +453,25 @@ func (t *Tracer) sinceStart(at time.Time) float64 {
 	return float64(at.Sub(t.start)) / float64(time.Millisecond)
 }
 
+// emit delivers one event to every sink: the synchronous JSON-lines
+// writer, every registered callback, and every channel subscription
+// (non-blocking; see Subscription.Dropped). Caller holds t.mu.
 func (t *Tracer) emit(e Event) {
-	if t.json == nil {
+	if t.json == nil && len(t.subs) == 0 && len(t.fns) == 0 {
 		return
 	}
-	b, err := json.Marshal(e)
-	if err != nil {
-		return
+	e.Seq = t.seq.Add(1)
+	if t.json != nil {
+		if b, err := json.Marshal(e); err == nil {
+			t.json.Write(append(b, '\n'))
+		}
 	}
-	t.json.Write(append(b, '\n'))
+	for _, fn := range t.fns {
+		fn(e)
+	}
+	for _, sub := range t.subs {
+		sub.deliver(e)
+	}
 }
 
 func copyCounters(c map[string]int64) map[string]int64 {
@@ -395,15 +485,17 @@ func copyCounters(c map[string]int64) map[string]int64 {
 	return out
 }
 
-// Event is one line of the JSON-lines stream.
+// Event is one line of the JSON-lines stream (and the unit delivered to
+// bus subscribers).
 //
-//	{"ev":"span_start","span":"flow.resynthesis/core.resynthesize","t_ms":1.2}
-//	{"ev":"span_end","span":"...","t_ms":4.8,"dur_ms":3.6,"counters":{"dcret_pairs":2}}
-//	{"ev":"event","name":"reach_iter","span":"reach.analyze","t_ms":0.4,"fields":{"depth":3}}
+//	{"ev":"span_start","span":"flow.resynthesis/core.resynthesize","seq":1,"t_ms":1.2}
+//	{"ev":"span_end","span":"...","seq":4,"t_ms":4.8,"dur_ms":3.6,"counters":{"dcret_pairs":2}}
+//	{"ev":"event","name":"reach_iter","span":"reach.analyze","seq":2,"t_ms":0.4,"fields":{"depth":3}}
 type Event struct {
 	Ev       string           `json:"ev"`
 	Span     string           `json:"span,omitempty"`
 	Name     string           `json:"name,omitempty"`
+	Seq      uint64           `json:"seq,omitempty"`
 	TMs      float64          `json:"t_ms"`
 	DurMs    float64          `json:"dur_ms,omitempty"`
 	Counters map[string]int64 `json:"counters,omitempty"`
@@ -411,26 +503,28 @@ type Event struct {
 }
 
 // ReadEvents parses a JSON-lines stream produced by a Tracer sink. Blank
-// lines are skipped; any malformed line is an error.
-func ReadEvents(r io.Reader) ([]Event, error) {
-	var out []Event
+// lines are skipped silently. A malformed line — truncated mid-write, two
+// lines interleaved by a crashed writer, or junk — is skipped and counted
+// rather than failing the whole read, so a partial trace from an aborted
+// run still yields every intact event. The returned error is non-nil only
+// for a failing reader.
+func ReadEvents(r io.Reader) (events []Event, skipped int, err error) {
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 0, 64*1024), 8*1024*1024)
-	line := 0
 	for sc.Scan() {
-		line++
 		s := strings.TrimSpace(sc.Text())
 		if s == "" {
 			continue
 		}
 		var e Event
-		if err := json.Unmarshal([]byte(s), &e); err != nil {
-			return nil, fmt.Errorf("obs: line %d: %w", line, err)
+		if json.Unmarshal([]byte(s), &e) != nil || e.Ev == "" {
+			skipped++
+			continue
 		}
-		out = append(out, e)
+		events = append(events, e)
 	}
 	if err := sc.Err(); err != nil {
-		return nil, err
+		return events, skipped, err
 	}
-	return out, nil
+	return events, skipped, nil
 }

@@ -85,9 +85,12 @@ func TestJSONLinesRoundTrip(t *testing.T) {
 	sp.Add("mapper_candidates", 42)
 	sp.End()
 
-	evs, err := ReadEvents(&buf)
+	evs, skipped, err := ReadEvents(&buf)
 	if err != nil {
 		t.Fatal(err)
+	}
+	if skipped != 0 {
+		t.Fatalf("healthy stream reported %d skipped lines", skipped)
 	}
 	if len(evs) != 3 {
 		t.Fatalf("want 3 events (start, event, end), got %d", len(evs))
@@ -104,9 +107,16 @@ func TestJSONLinesRoundTrip(t *testing.T) {
 	}
 }
 
-func TestReadEventsRejectsGarbage(t *testing.T) {
-	if _, err := ReadEvents(strings.NewReader("{\"ev\":\"x\"}\nnot json\n")); err == nil {
-		t.Fatal("want error on malformed line")
+func TestReadEventsSkipsGarbageWithCount(t *testing.T) {
+	evs, skipped, err := ReadEvents(strings.NewReader("{\"ev\":\"x\"}\nnot json\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(evs) != 1 || evs[0].Ev != "x" {
+		t.Fatalf("intact events lost: %+v", evs)
+	}
+	if skipped != 1 {
+		t.Fatalf("skipped = %d, want 1", skipped)
 	}
 }
 

@@ -1,0 +1,98 @@
+package parexec
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// Pool is the long-lived counterpart of Map for server workloads
+// (internal/serve): a fixed set of worker goroutines draining a bounded
+// task queue. Where Map is batch-oriented — it owns its items, returns
+// ordered results, and re-raises worker panics on the caller — a Pool
+// serves an open-ended stream of independent jobs whose results are
+// delivered out of band (each job records into its own state), so the
+// contract differs in two ways:
+//
+//   - Backpressure instead of blocking: TrySubmit refuses work when the
+//     queue is full, so an HTTP front end can answer 503 instead of
+//     stalling its accept loop.
+//   - Containment instead of re-raise: a panicking task must not take the
+//     whole service down; it is routed to the OnPanic hook (tasks that
+//     want typed errors wrap themselves in guard.Run, as the serving
+//     layer does).
+type Pool struct {
+	tasks   chan func()
+	wg      sync.WaitGroup
+	mu      sync.Mutex
+	closed  bool
+	running atomic.Int64
+	// OnPanic, when non-nil, receives values recovered from panicking
+	// tasks. Set it before the first Submit; a nil hook discards the
+	// value (the pool never crashes the process).
+	OnPanic func(recovered any)
+}
+
+// NewPool starts workers goroutines (normalized via Workers) over a task
+// queue of the given capacity (minimum 1).
+func NewPool(workers, queue int) *Pool {
+	if queue < 1 {
+		queue = 1
+	}
+	p := &Pool{tasks: make(chan func(), queue)}
+	for w := 0; w < Workers(workers); w++ {
+		p.wg.Add(1)
+		go func() {
+			defer p.wg.Done()
+			for fn := range p.tasks {
+				p.run(fn)
+			}
+		}()
+	}
+	return p
+}
+
+func (p *Pool) run(fn func()) {
+	p.running.Add(1)
+	defer p.running.Add(-1)
+	defer func() {
+		if r := recover(); r != nil && p.OnPanic != nil {
+			p.OnPanic(r)
+		}
+	}()
+	fn()
+}
+
+// TrySubmit enqueues fn, or reports false when the pool is closed or the
+// queue is full (backpressure: the caller decides whether to shed or
+// retry).
+func (p *Pool) TrySubmit(fn func()) bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.closed {
+		return false
+	}
+	select {
+	case p.tasks <- fn:
+		return true
+	default:
+		return false
+	}
+}
+
+// QueueLen reports the number of tasks waiting for a worker.
+func (p *Pool) QueueLen() int { return len(p.tasks) }
+
+// Running reports the number of tasks currently executing.
+func (p *Pool) Running() int { return int(p.running.Load()) }
+
+// Close stops accepting work and waits for queued and in-flight tasks to
+// finish. Idempotent.
+func (p *Pool) Close() {
+	p.mu.Lock()
+	if !p.closed {
+		p.closed = true
+		close(p.tasks)
+	}
+	p.mu.Unlock()
+	p.wg.Wait()
+}

@@ -1,0 +1,95 @@
+package parexec
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestPoolRunsEverything(t *testing.T) {
+	p := NewPool(4, 64)
+	var n atomic.Int64
+	for i := 0; i < 50; i++ {
+		if !p.TrySubmit(func() { n.Add(1) }) {
+			t.Fatal("submit refused with free queue")
+		}
+	}
+	p.Close()
+	if n.Load() != 50 {
+		t.Fatalf("ran %d tasks, want 50", n.Load())
+	}
+}
+
+func TestPoolBoundsConcurrency(t *testing.T) {
+	const workers = 3
+	p := NewPool(workers, 64)
+	defer p.Close()
+	var cur, peak atomic.Int64
+	var wg sync.WaitGroup
+	for i := 0; i < 20; i++ {
+		wg.Add(1)
+		p.TrySubmit(func() {
+			defer wg.Done()
+			c := cur.Add(1)
+			for {
+				old := peak.Load()
+				if c <= old || peak.CompareAndSwap(old, c) {
+					break
+				}
+			}
+			time.Sleep(2 * time.Millisecond)
+			cur.Add(-1)
+		})
+	}
+	wg.Wait()
+	if got := peak.Load(); got > workers {
+		t.Fatalf("observed %d concurrent tasks, want <= %d", got, workers)
+	}
+}
+
+func TestPoolBackpressure(t *testing.T) {
+	p := NewPool(1, 1)
+	block := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	p.TrySubmit(func() { defer wg.Done(); <-block }) // occupies the worker
+	// Fill the queue, then expect refusal.
+	for !p.TrySubmit(func() {}) {
+		time.Sleep(time.Millisecond) // until the worker picked up task 1
+	}
+	if p.TrySubmit(func() {}) {
+		t.Fatal("submit accepted with a full queue")
+	}
+	if p.QueueLen() != 1 || p.Running() != 1 {
+		t.Fatalf("queue=%d running=%d, want 1/1", p.QueueLen(), p.Running())
+	}
+	close(block)
+	wg.Wait()
+	p.Close()
+}
+
+func TestPoolContainsPanics(t *testing.T) {
+	p := NewPool(2, 8)
+	var recovered atomic.Value
+	p.OnPanic = func(r any) { recovered.Store(r) }
+	var ok atomic.Bool
+	p.TrySubmit(func() { panic("job exploded") })
+	p.TrySubmit(func() { ok.Store(true) })
+	p.Close()
+	if !ok.Load() {
+		t.Fatal("pool died after a panicking task")
+	}
+	if recovered.Load() != "job exploded" {
+		t.Fatalf("OnPanic got %v", recovered.Load())
+	}
+}
+
+func TestPoolCloseIsIdempotentAndRefuses(t *testing.T) {
+	p := NewPool(2, 8)
+	p.Close()
+	p.Close()
+	if p.TrySubmit(func() {}) {
+		t.Fatal("closed pool accepted work")
+	}
+}

@@ -181,9 +181,12 @@ func TestAnalysisStatsAndTrace(t *testing.T) {
 	if sp.Counter("bdd_nodes") != int64(a.Stats.PeakNodes) {
 		t.Fatal("span bdd_nodes does not match manager stats")
 	}
-	evs, err := obs.ReadEvents(&buf)
+	evs, skipped, err := obs.ReadEvents(&buf)
 	if err != nil {
 		t.Fatal(err)
+	}
+	if skipped != 0 {
+		t.Fatalf("tracer emitted %d malformed JSONL lines", skipped)
 	}
 	iters := 0
 	for _, e := range evs {

@@ -1,0 +1,217 @@
+package serve
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/pprof"
+	"time"
+
+	"repro/internal/flows"
+	"repro/internal/obs"
+)
+
+// maxRequestBytes bounds a submission body; netlists in this repo's weight
+// class are tens of kilobytes, so 8 MiB is generous without letting one
+// client exhaust memory.
+const maxRequestBytes = 8 << 20
+
+// Handler mounts the service API:
+//
+//	POST /jobs             submit {netlist, format, flow, verify} → JobInfo
+//	GET  /jobs             list jobs
+//	GET  /jobs/{id}        job status + result summary
+//	GET  /jobs/{id}/events live per-pass progress as SSE (replays history)
+//	GET  /jobs/{id}/result output netlist as BLIF text
+//	GET  /metrics          Prometheus text exposition
+//	GET  /healthz          liveness + version + job counts
+//
+// When debug is true the net/http/pprof handlers are mounted under
+// /debug/pprof/.
+func (s *Server) Handler(debug bool) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /jobs", s.instrument("post_jobs", s.handleSubmit))
+	mux.HandleFunc("GET /jobs", s.instrument("list_jobs", s.handleList))
+	mux.HandleFunc("GET /jobs/{id}", s.instrument("get_job", s.handleJob))
+	mux.HandleFunc("GET /jobs/{id}/events", s.instrument("job_events", s.handleEvents))
+	mux.HandleFunc("GET /jobs/{id}/result", s.instrument("job_result", s.handleResult))
+	mux.HandleFunc("GET /metrics", s.instrument("metrics", s.handleMetrics))
+	mux.HandleFunc("GET /healthz", s.instrument("healthz", s.handleHealthz))
+	if debug {
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	}
+	return mux
+}
+
+func (s *Server) instrument(route string, h http.HandlerFunc) http.HandlerFunc {
+	c := s.reg.Counter("resynd_http_requests_total", "HTTP requests by route", obs.Labels{"route": route})
+	return func(w http.ResponseWriter, r *http.Request) {
+		c.Inc()
+		h(w, r)
+	}
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, map[string]string{"error": err.Error()})
+}
+
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	var req Request
+	body := io.LimitReader(r.Body, maxRequestBytes)
+	if err := json.NewDecoder(body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("bad request body: %w", err))
+		return
+	}
+	j, cached, err := s.Submit(req)
+	switch {
+	case errors.Is(err, errShed):
+		w.Header().Set("Retry-After", "1")
+		writeError(w, http.StatusServiceUnavailable, err)
+		return
+	case err != nil:
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	info := j.Info()
+	info.Cached = cached
+	status := http.StatusAccepted
+	if cached {
+		status = http.StatusOK
+	}
+	writeJSON(w, status, info)
+}
+
+func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.Jobs())
+}
+
+func (s *Server) lookup(w http.ResponseWriter, r *http.Request) (*Job, bool) {
+	j, ok := s.Job(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, fmt.Errorf("no job %q", r.PathValue("id")))
+	}
+	return j, ok
+}
+
+func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
+	if j, ok := s.lookup(w, r); ok {
+		writeJSON(w, http.StatusOK, j.Info())
+	}
+}
+
+func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.lookup(w, r)
+	if !ok {
+		return
+	}
+	switch j.State() {
+	case StateDone:
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		io.WriteString(w, j.Netlist())
+	case StateFailed:
+		writeError(w, http.StatusConflict, fmt.Errorf("job %s failed: %s", j.ID, j.Info().Error))
+	default:
+		w.Header().Set("Retry-After", "1")
+		writeError(w, http.StatusAccepted, fmt.Errorf("job %s still %s", j.ID, j.State()))
+	}
+}
+
+// handleEvents streams the job's event log as server-sent events: the full
+// history first (index-based replay, no gaps), then live appends until the
+// job reaches a terminal state or the client disconnects. The final frame
+// is `event: done` carrying the JobInfo summary.
+func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.lookup(w, r)
+	if !ok {
+		return
+	}
+	flusher, canFlush := w.(http.Flusher)
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.Header().Set("Connection", "keep-alive")
+	w.WriteHeader(http.StatusOK)
+
+	idx := 0
+	for {
+		evs, state, changed := j.EventsSince(idx)
+		for _, e := range evs {
+			data, err := json.Marshal(e)
+			if err != nil {
+				continue
+			}
+			fmt.Fprintf(w, "id: %d\ndata: %s\n\n", idx+1, data)
+			idx++
+		}
+		if canFlush {
+			flusher.Flush()
+		}
+		if state.terminal() {
+			// Only exit once the log is fully drained: terminal state and
+			// no events appeared since the snapshot.
+			if evs, _, _ := j.EventsSince(idx); len(evs) == 0 {
+				summary, _ := json.Marshal(j.Info())
+				fmt.Fprintf(w, "event: done\ndata: %s\n\n", summary)
+				if canFlush {
+					flusher.Flush()
+				}
+				return
+			}
+			continue
+		}
+		select {
+		case <-changed:
+		case <-r.Context().Done():
+			return
+		}
+	}
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	s.gRunning.Set(float64(s.pool.Running()))
+	s.gQueue.Set(float64(s.pool.QueueLen()))
+	s.reg.SampleRuntime()
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	s.reg.WritePrometheus(w)
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	var queued, running, done, failed int
+	for _, info := range s.Jobs() {
+		switch info.State {
+		case StateQueued:
+			queued++
+		case StateRunning:
+			running++
+		case StateDone:
+			done++
+		case StateFailed:
+			failed++
+		}
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status":  "ok",
+		"version": s.cfg.Version,
+		"uptime":  time.Since(s.start).String(),
+		"flows":   flows.FlowNames(),
+		"jobs": map[string]int{
+			"queued":  queued,
+			"running": running,
+			"done":    done,
+			"failed":  failed,
+		},
+	})
+}

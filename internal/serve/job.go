@@ -1,0 +1,172 @@
+package serve
+
+import (
+	"sync"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// JobState is the lifecycle of a submitted job.
+type JobState string
+
+const (
+	StateQueued  JobState = "queued"
+	StateRunning JobState = "running"
+	StateDone    JobState = "done"
+	StateFailed  JobState = "failed"
+)
+
+func (s JobState) terminal() bool { return s == StateDone || s == StateFailed }
+
+// Job is one unit of submitted work, content-addressed by the request hash
+// so identical submissions share a single Job. Its event log is appended by
+// a loss-free obs.SubscribeFunc recorder on the job's private tracer and
+// replayed to any number of SSE consumers: a consumer reads from an index,
+// so late subscribers see the full history and slow ones never force drops.
+type Job struct {
+	// ID is the content hash of the request (netlist + format + flow +
+	// verify), so it doubles as the cache key.
+	ID string
+
+	mu       sync.Mutex
+	req      Request
+	state    JobState
+	events   []obs.Event
+	notify   chan struct{} // closed and replaced on every append/state change
+	created  time.Time
+	started  time.Time
+	finished time.Time
+	result   *JobResult
+	errMsg   string
+	netlist  string // output BLIF, set on success
+}
+
+// JobResult is the Table-I-style summary of a finished job.
+type JobResult struct {
+	Regs    int     `json:"regs"`
+	Clk     float64 `json:"clk"`
+	Area    float64 `json:"area"`
+	PrefixK int     `json:"prefix_k"`
+	Note    string  `json:"note,omitempty"`
+	// Verify reports how equivalence was established: "exact",
+	// "simulated" (state space too large for the product machine), or
+	// "skipped".
+	Verify string `json:"verify"`
+}
+
+// JobInfo is the JSON shape served for a job.
+type JobInfo struct {
+	ID       string     `json:"id"`
+	Flow     string     `json:"flow"`
+	Format   string     `json:"format"`
+	State    JobState   `json:"state"`
+	Created  time.Time  `json:"created"`
+	Started  time.Time  `json:"started"`
+	Finished time.Time  `json:"finished"`
+	Events   int        `json:"events"`
+	Result   *JobResult `json:"result,omitempty"`
+	Error    string     `json:"error,omitempty"`
+	// Cached is set on POST responses that were answered by an existing
+	// job rather than a fresh run.
+	Cached bool `json:"cached,omitempty"`
+}
+
+func newJob(id string, req Request, now time.Time) *Job {
+	return &Job{
+		ID:      id,
+		req:     req,
+		state:   StateQueued,
+		notify:  make(chan struct{}),
+		created: now,
+	}
+}
+
+// wake must be called with j.mu held: it releases every waiter and arms a
+// fresh notify channel.
+func (j *Job) wake() {
+	close(j.notify)
+	j.notify = make(chan struct{})
+}
+
+// append records one tracer event. It is installed via obs.SubscribeFunc,
+// so it runs synchronously under the tracer's lock and never misses or
+// drops an event.
+func (j *Job) append(e obs.Event) {
+	j.mu.Lock()
+	j.events = append(j.events, e)
+	j.wake()
+	j.mu.Unlock()
+}
+
+func (j *Job) setRunning(now time.Time) {
+	j.mu.Lock()
+	j.state = StateRunning
+	j.started = now
+	j.wake()
+	j.mu.Unlock()
+}
+
+func (j *Job) finish(now time.Time, res *JobResult, netlist string, err error) {
+	j.mu.Lock()
+	j.finished = now
+	if err != nil {
+		j.state = StateFailed
+		j.errMsg = err.Error()
+	} else {
+		j.state = StateDone
+		j.result = res
+		j.netlist = netlist
+	}
+	j.wake()
+	j.mu.Unlock()
+}
+
+// EventsSince returns the events at index from onward, the job state, and a
+// channel that is closed on the next append or state change. The channel is
+// captured under the same lock as the slice, so a waiter can never miss a
+// wakeup: if anything happened after this snapshot, the returned channel is
+// already closed.
+func (j *Job) EventsSince(from int) (evs []obs.Event, state JobState, changed <-chan struct{}) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if from < 0 {
+		from = 0
+	}
+	if from < len(j.events) {
+		evs = append(evs, j.events[from:]...)
+	}
+	return evs, j.state, j.notify
+}
+
+// Info snapshots the job for JSON rendering.
+func (j *Job) Info() JobInfo {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return JobInfo{
+		ID:       j.ID,
+		Flow:     j.req.Flow,
+		Format:   j.req.Format,
+		State:    j.state,
+		Created:  j.created,
+		Started:  j.started,
+		Finished: j.finished,
+		Events:   len(j.events),
+		Result:   j.result,
+		Error:    j.errMsg,
+	}
+}
+
+// State reports the current lifecycle state.
+func (j *Job) State() JobState {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.state
+}
+
+// Netlist returns the output BLIF once the job is done ("" otherwise).
+func (j *Job) Netlist() string {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.netlist
+}

@@ -1,0 +1,257 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/bench"
+	"repro/internal/blif"
+)
+
+// LoadConfig drives RunLoad against a resynd instance.
+type LoadConfig struct {
+	// Target is the base URL ("http://127.0.0.1:8080").
+	Target string
+	// QPS is the submission rate (default 2).
+	QPS float64
+	// Duration bounds the submission window (default 10s); in-flight jobs
+	// are always drained afterwards.
+	Duration time.Duration
+	// Circuits names bench registry entries to cycle through (default: a
+	// small FSM trio that keeps smoke runs fast).
+	Circuits []string
+	// Flow is the flow submitted with every request (default "resyn").
+	Flow string
+	// Verify asks the service to verify each result.
+	Verify bool
+	// Client overrides the HTTP client (tests inject httptest clients).
+	Client *http.Client
+	// Log receives progress lines; nil discards them.
+	Log io.Writer
+}
+
+// LoadReport is the benchmark artifact (schema bench_serve/v1).
+type LoadReport struct {
+	Schema      string   `json:"schema"`
+	Target      string   `json:"target"`
+	Flow        string   `json:"flow"`
+	Circuits    []string `json:"circuits"`
+	QPS         float64  `json:"qps_target"`
+	DurationSec float64  `json:"duration_sec"`
+
+	Submitted int `json:"submitted"`
+	Completed int `json:"completed"`
+	Failed    int `json:"failed"`
+	Shed      int `json:"shed"`
+	CacheHits int `json:"cache_hits"`
+
+	JobsPerSec   float64 `json:"jobs_per_sec"`
+	CacheHitRate float64 `json:"cache_hit_rate"`
+
+	LatencyMsP50  float64 `json:"latency_ms_p50"`
+	LatencyMsP90  float64 `json:"latency_ms_p90"`
+	LatencyMsP99  float64 `json:"latency_ms_p99"`
+	LatencyMsMean float64 `json:"latency_ms_mean"`
+	LatencyMsMax  float64 `json:"latency_ms_max"`
+}
+
+// DefaultLoadCircuits is the cheap trio used when LoadConfig.Circuits is
+// empty: small enough that a smoke run finishes in seconds, and three
+// distinct circuits so the content-addressed cache sees both fresh keys and
+// repeats.
+var DefaultLoadCircuits = []string{"bbtas", "s27", "ex6"}
+
+// RunLoad replays the named benchmark circuits against cfg.Target at
+// cfg.QPS for cfg.Duration, polls every job to completion, and reports
+// end-to-end latency percentiles, throughput and the cache hit rate.
+func RunLoad(cfg LoadConfig) (*LoadReport, error) {
+	if cfg.QPS <= 0 {
+		cfg.QPS = 2
+	}
+	if cfg.Duration <= 0 {
+		cfg.Duration = 10 * time.Second
+	}
+	if cfg.Flow == "" {
+		cfg.Flow = "resyn"
+	}
+	if len(cfg.Circuits) == 0 {
+		cfg.Circuits = DefaultLoadCircuits
+	}
+	client := cfg.Client
+	if client == nil {
+		client = &http.Client{Timeout: 30 * time.Second}
+	}
+	logf := func(format string, a ...any) {
+		if cfg.Log != nil {
+			fmt.Fprintf(cfg.Log, format+"\n", a...)
+		}
+	}
+
+	// Render every circuit to BLIF once, up front.
+	netlists := make([]string, 0, len(cfg.Circuits))
+	for _, name := range cfg.Circuits {
+		c, ok := bench.ByName(name)
+		if !ok {
+			return nil, fmt.Errorf("loadgen: unknown circuit %q", name)
+		}
+		n, err := c.Build()
+		if err != nil {
+			return nil, fmt.Errorf("loadgen: build %s: %w", name, err)
+		}
+		var b strings.Builder
+		if err := blif.Write(&b, n); err != nil {
+			return nil, fmt.Errorf("loadgen: render %s: %w", name, err)
+		}
+		netlists = append(netlists, b.String())
+	}
+
+	rep := &LoadReport{
+		Schema:   "bench_serve/v1",
+		Target:   cfg.Target,
+		Flow:     cfg.Flow,
+		Circuits: cfg.Circuits,
+		QPS:      cfg.QPS,
+	}
+	var (
+		mu        sync.Mutex
+		latencies []float64
+		wg        sync.WaitGroup
+	)
+	record := func(d time.Duration, cached bool, failed bool) {
+		mu.Lock()
+		defer mu.Unlock()
+		switch {
+		case failed:
+			rep.Failed++
+		default:
+			rep.Completed++
+			latencies = append(latencies, float64(d)/float64(time.Millisecond))
+		}
+		if cached {
+			rep.CacheHits++
+		}
+	}
+
+	interval := time.Duration(float64(time.Second) / cfg.QPS)
+	start := time.Now()
+	deadline := start.Add(cfg.Duration)
+	tick := time.NewTicker(interval)
+	defer tick.Stop()
+	i := 0
+	for now := start; now.Before(deadline); now = <-tick.C {
+		netlist := netlists[i%len(netlists)]
+		i++
+		rep.Submitted++
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			t0 := time.Now()
+			info, cached, err := submitJob(client, cfg.Target, Request{Netlist: netlist, Flow: cfg.Flow, Verify: cfg.Verify})
+			if err != nil {
+				mu.Lock()
+				rep.Shed++
+				mu.Unlock()
+				logf("loadgen: submit: %v", err)
+				return
+			}
+			final, err := pollJob(client, cfg.Target, info.ID)
+			if err != nil || final.State != StateDone {
+				record(0, cached, true)
+				logf("loadgen: job %s: state=%s err=%v", info.ID, final.State, err)
+				return
+			}
+			record(time.Since(t0), cached, false)
+		}()
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	rep.DurationSec = elapsed.Seconds()
+	if elapsed > 0 {
+		rep.JobsPerSec = float64(rep.Completed) / elapsed.Seconds()
+	}
+	if rep.Submitted > rep.Shed {
+		rep.CacheHitRate = float64(rep.CacheHits) / float64(rep.Submitted-rep.Shed)
+	}
+	sort.Float64s(latencies)
+	rep.LatencyMsP50 = percentile(latencies, 0.50)
+	rep.LatencyMsP90 = percentile(latencies, 0.90)
+	rep.LatencyMsP99 = percentile(latencies, 0.99)
+	if len(latencies) > 0 {
+		var sum float64
+		for _, v := range latencies {
+			sum += v
+		}
+		rep.LatencyMsMean = sum / float64(len(latencies))
+		rep.LatencyMsMax = latencies[len(latencies)-1]
+	}
+	logf("loadgen: %d submitted, %d completed, %d failed, %d shed, cache hit rate %.2f, p50 %.1fms p99 %.1fms",
+		rep.Submitted, rep.Completed, rep.Failed, rep.Shed, rep.CacheHitRate, rep.LatencyMsP50, rep.LatencyMsP99)
+	return rep, nil
+}
+
+// percentile interpolates the q-quantile of sorted values (ms).
+func percentile(sorted []float64, q float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	pos := q * float64(len(sorted)-1)
+	lo := int(math.Floor(pos))
+	hi := int(math.Ceil(pos))
+	if lo == hi {
+		return sorted[lo]
+	}
+	frac := pos - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[hi]*frac
+}
+
+func submitJob(client *http.Client, target string, req Request) (JobInfo, bool, error) {
+	body, err := json.Marshal(req)
+	if err != nil {
+		return JobInfo{}, false, err
+	}
+	resp, err := client.Post(target+"/jobs", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return JobInfo{}, false, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted && resp.StatusCode != http.StatusOK {
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+		return JobInfo{}, false, fmt.Errorf("POST /jobs: %s: %s", resp.Status, bytes.TrimSpace(msg))
+	}
+	var info JobInfo
+	if err := json.NewDecoder(resp.Body).Decode(&info); err != nil {
+		return JobInfo{}, false, err
+	}
+	return info, info.Cached, nil
+}
+
+func pollJob(client *http.Client, target, id string) (JobInfo, error) {
+	backoff := 5 * time.Millisecond
+	for {
+		resp, err := client.Get(target + "/jobs/" + id)
+		if err != nil {
+			return JobInfo{}, err
+		}
+		var info JobInfo
+		err = json.NewDecoder(resp.Body).Decode(&info)
+		resp.Body.Close()
+		if err != nil {
+			return JobInfo{}, err
+		}
+		if info.State.terminal() {
+			return info, nil
+		}
+		time.Sleep(backoff)
+		if backoff < 200*time.Millisecond {
+			backoff *= 2
+		}
+	}
+}

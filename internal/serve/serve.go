@@ -1,0 +1,328 @@
+// Package serve turns the resynthesis flows into a long-running service:
+// POST a netlist and a flow name, get back a content-addressed job id, and
+// follow per-pass progress live over SSE while the job runs on a bounded
+// worker pool. Identical submissions (same netlist bytes, format, flow and
+// verify setting) hash to the same job, so repeats are answered from the
+// result cache without recomputation.
+//
+// The package is the glue between the existing layers, not a new engine:
+// jobs execute flows.RunFlow under guard.Budget deadlines on a
+// parexec.Pool, trace through a private obs.Tracer bridged into the shared
+// obs.Registry, and verify with seqverify (falling back to random
+// simulation when the product machine is too large) — exactly the cmd/resyn
+// pipeline, behind HTTP.
+package serve
+
+import (
+	"context"
+	"crypto/sha256"
+	"encoding/hex"
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/blif"
+	"repro/internal/flows"
+	"repro/internal/genlib"
+	"repro/internal/guard"
+	"repro/internal/kiss"
+	"repro/internal/network"
+	"repro/internal/obs"
+	"repro/internal/parexec"
+	"repro/internal/reach"
+	"repro/internal/seqverify"
+	"repro/internal/sim"
+)
+
+// Request is one job submission.
+type Request struct {
+	// Netlist is the circuit source text.
+	Netlist string `json:"netlist"`
+	// Format is "blif" (default) or "kiss2" (binary-encoded FSM
+	// synthesis, as resyn -kiss).
+	Format string `json:"format,omitempty"`
+	// Flow is one of flows.FlowNames (default "resyn").
+	Flow string `json:"flow,omitempty"`
+	// Verify requests an equivalence check of the result against the
+	// input (exact when feasible, random simulation otherwise).
+	Verify bool `json:"verify,omitempty"`
+}
+
+func (r *Request) normalize() {
+	if r.Format == "" {
+		r.Format = "blif"
+	}
+	if r.Flow == "" {
+		r.Flow = "resyn"
+	}
+}
+
+// Key is the content address of the request: the sha256 of every field
+// that determines the result. It is the job id, so a repeated submission
+// lands on the cached job.
+func (r Request) Key() string {
+	h := sha256.New()
+	fmt.Fprintf(h, "%s\x00%s\x00%v\x00", r.Format, r.Flow, r.Verify)
+	h.Write([]byte(r.Netlist))
+	return hex.EncodeToString(h.Sum(nil))[:32]
+}
+
+// parse builds the input network from the request source text.
+func (r Request) parse() (*network.Network, error) {
+	switch r.Format {
+	case "blif":
+		return blif.ParseString(r.Netlist)
+	case "kiss2":
+		fsm, err := kiss.ParseString(r.Netlist, "request")
+		if err != nil {
+			return nil, err
+		}
+		return fsm.Synthesize(kiss.Binary)
+	}
+	return nil, fmt.Errorf("serve: unknown format %q (blif | kiss2)", r.Format)
+}
+
+func (r Request) validate() error {
+	if strings.TrimSpace(r.Netlist) == "" {
+		return errors.New("serve: empty netlist")
+	}
+	if !flows.KnownFlow(r.Flow) {
+		return fmt.Errorf("serve: unknown flow %q (have %v)", r.Flow, flows.FlowNames())
+	}
+	_, err := r.parse()
+	return err
+}
+
+// Config tunes a Server. Zero values take defaults.
+type Config struct {
+	// Workers bounds concurrent jobs (parexec.Workers normalization).
+	Workers int
+	// Queue bounds jobs waiting for a worker; a full queue sheds load
+	// with 503 instead of accepting unbounded work.
+	Queue int
+	// Budget bounds each job (Job), its flows (Flow) and passes (Pass).
+	Budget guard.Budget
+	// Reach bounds the BDD engines.
+	Reach reach.Limits
+	// Registry receives job/pass metrics; a fresh one is created when
+	// nil.
+	Registry *obs.Registry
+	// SimCycles bounds the random-simulation verification fallback
+	// (default sim.DefaultSpotCheck.CLI.Cycles).
+	SimCycles int
+	// Version is reported from /healthz.
+	Version string
+}
+
+// Server owns the job cache and the worker pool. Create with New, mount
+// Handler on an http.Server, and Close on shutdown.
+type Server struct {
+	cfg  Config
+	lib  *genlib.Library
+	pool *parexec.Pool
+	reg  *obs.Registry
+
+	mu    sync.Mutex
+	jobs  map[string]*Job
+	order []string // insertion order, for GET /jobs
+
+	start time.Time
+
+	mSubmitted *obs.Counter
+	mCacheHits *obs.Counter
+	mShed      *obs.Counter
+	mDone      *obs.Counter
+	mFailed    *obs.Counter
+	mJobSec    *obs.Histogram
+	gRunning   *obs.Gauge
+	gQueue     *obs.Gauge
+}
+
+// New builds a Server. The caller owns cfg.Registry (when set) and must
+// Close the server to drain the pool.
+func New(cfg Config) *Server {
+	if cfg.Queue <= 0 {
+		cfg.Queue = 64
+	}
+	if cfg.SimCycles <= 0 {
+		cfg.SimCycles = sim.DefaultSpotCheck.CLI.Cycles
+	}
+	reg := cfg.Registry
+	if reg == nil {
+		reg = obs.NewRegistry()
+	}
+	s := &Server{
+		cfg:   cfg,
+		lib:   genlib.Lib2(),
+		pool:  parexec.NewPool(cfg.Workers, cfg.Queue),
+		reg:   reg,
+		jobs:  make(map[string]*Job),
+		start: time.Now(),
+	}
+	s.pool.OnPanic = func(r any) {
+		// runJob already contains pass panics via guard; this hook is the
+		// last line of defense for bugs in the job plumbing itself.
+		s.reg.Counter("resynd_worker_panics_total", "tasks that escaped guard containment", nil).Inc()
+	}
+	s.mSubmitted = reg.Counter("resynd_jobs_submitted_total", "job submissions accepted (fresh or cached)", nil)
+	s.mCacheHits = reg.Counter("resynd_cache_hits_total", "submissions answered by an existing job", nil)
+	s.mShed = reg.Counter("resynd_jobs_shed_total", "submissions refused with 503 (queue full)", nil)
+	s.mDone = reg.Counter("resynd_jobs_completed_total", "jobs finished", obs.Labels{"state": "done"})
+	s.mFailed = reg.Counter("resynd_jobs_completed_total", "jobs finished", obs.Labels{"state": "failed"})
+	s.mJobSec = reg.Histogram("resynd_job_seconds", "end-to-end job wall time", obs.DefLatencyBuckets, nil)
+	s.gRunning = reg.Gauge("resynd_jobs_running", "jobs currently executing", nil)
+	s.gQueue = reg.Gauge("resynd_queue_depth", "jobs waiting for a worker", nil)
+	return s
+}
+
+// Registry exposes the server's metrics registry (for samplers and tests).
+func (s *Server) Registry() *obs.Registry { return s.reg }
+
+// Close stops accepting jobs and waits for in-flight ones.
+func (s *Server) Close() { s.pool.Close() }
+
+// Submit content-addresses req, returning the (possibly pre-existing) job
+// and whether it was a cache hit. A validation failure returns an error the
+// HTTP layer maps to 400; a full queue returns errShed for 503.
+var errShed = errors.New("serve: worker queue full")
+
+func (s *Server) Submit(req Request) (*Job, bool, error) {
+	req.normalize()
+	if err := req.validate(); err != nil {
+		return nil, false, err
+	}
+	id := req.Key()
+	s.mu.Lock()
+	if j, ok := s.jobs[id]; ok {
+		s.mu.Unlock()
+		s.mSubmitted.Inc()
+		s.mCacheHits.Inc()
+		return j, true, nil
+	}
+	j := newJob(id, req, time.Now())
+	s.jobs[id] = j
+	s.order = append(s.order, id)
+	s.mu.Unlock()
+
+	if !s.pool.TrySubmit(func() { s.runJob(j) }) {
+		s.mu.Lock()
+		delete(s.jobs, id)
+		if n := len(s.order); n > 0 && s.order[n-1] == id {
+			s.order = s.order[:n-1]
+		}
+		s.mu.Unlock()
+		s.mShed.Inc()
+		return nil, false, errShed
+	}
+	s.mSubmitted.Inc()
+	return j, false, nil
+}
+
+// Job looks up a job by id.
+func (s *Server) Job(id string) (*Job, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.jobs[id]
+	return j, ok
+}
+
+// Jobs snapshots all jobs in submission order.
+func (s *Server) Jobs() []JobInfo {
+	s.mu.Lock()
+	ids := append([]string(nil), s.order...)
+	jobs := make([]*Job, 0, len(ids))
+	for _, id := range ids {
+		jobs = append(jobs, s.jobs[id])
+	}
+	s.mu.Unlock()
+	out := make([]JobInfo, len(jobs))
+	for i, j := range jobs {
+		out[i] = j.Info()
+	}
+	return out
+}
+
+// runJob executes one job on a pool worker: parse, flow, verify, render —
+// all under the job deadline, traced into the job's event log and the
+// shared registry.
+func (s *Server) runJob(j *Job) {
+	start := time.Now()
+	j.setRunning(start)
+
+	tr := obs.New()
+	tr.SetRegistry(s.reg)
+	cancelRec := tr.SubscribeFunc(j.append)
+	defer cancelRec()
+
+	ctx, cancel := s.cfg.Budget.JobContext(context.Background())
+	defer cancel()
+
+	res, netlist, err := s.execute(ctx, j, tr)
+
+	dur := time.Since(start)
+	s.mJobSec.Observe(dur.Seconds())
+	if err != nil {
+		tr.Event("job_failed", map[string]any{"error": err.Error()})
+		s.mFailed.Inc()
+	} else {
+		tr.Event("job_done", map[string]any{"clk": res.Clk, "regs": res.Regs, "verify": res.Verify})
+		s.mDone.Inc()
+	}
+	j.finish(time.Now(), res, netlist, err)
+}
+
+func (s *Server) execute(ctx context.Context, j *Job, tr *obs.Tracer) (*JobResult, string, error) {
+	src, err := j.req.parse()
+	if err != nil {
+		// Unreachable in the HTTP path (Submit validated), kept for
+		// direct API users.
+		return nil, "", err
+	}
+	cfg := flows.Config{
+		Tracer: tr,
+		Budget: s.cfg.Budget,
+		Reach:  s.cfg.Reach,
+	}
+	result, err := flows.RunFlow(ctx, j.req.Flow, src, s.lib, cfg)
+	if err != nil {
+		return nil, "", err
+	}
+	res := &JobResult{
+		Regs:    result.Metrics.Regs,
+		Clk:     result.Metrics.Clk,
+		Area:    result.Metrics.Area,
+		PrefixK: result.PrefixK,
+		Note:    result.Note,
+		Verify:  "skipped",
+	}
+	if j.req.Verify {
+		sp := tr.Begin("serve.verify")
+		verr := seqverify.EquivalentCtx(ctx, src, result.Net, seqverify.Options{Delay: result.PrefixK, Limits: s.cfg.Reach})
+		switch {
+		case verr == nil:
+			res.Verify = "exact"
+		case errors.Is(verr, seqverify.ErrTooLarge):
+			if serr := sim.RandomEquivalent(src, result.Net, result.PrefixK, s.cfg.SimCycles, sim.DefaultSpotCheck.CLI.Seed); serr != nil {
+				sp.End()
+				return nil, "", serr
+			}
+			res.Verify = "simulated"
+		default:
+			sp.End()
+			return nil, "", verr
+		}
+		sp.End()
+	}
+	var out strings.Builder
+	if err := blif.Write(&out, result.Net); err != nil {
+		return nil, "", err
+	}
+	// Catch a cancellation that a pass absorbed silently so a budgeted job
+	// never reports success past its deadline.
+	if cerr := guard.Check(ctx, "serve.job"); cerr != nil {
+		return nil, "", cerr
+	}
+	return res, out.String(), nil
+}

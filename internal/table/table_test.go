@@ -143,9 +143,12 @@ func TestJSONStreamParsesAtAnyWidth(t *testing.T) {
 		}); err != nil {
 			t.Fatalf("workers=%d: %v", w, err)
 		}
-		evs, err := obs.ReadEvents(&js)
+		evs, skipped, err := obs.ReadEvents(&js)
 		if err != nil {
 			t.Fatalf("workers=%d: JSONL stream unreadable: %v", w, err)
+		}
+		if skipped != 0 {
+			t.Fatalf("workers=%d: %d malformed JSONL lines", w, skipped)
 		}
 		if len(evs) == 0 {
 			t.Fatalf("workers=%d: empty event stream", w)
