@@ -1,0 +1,103 @@
+package faults
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"repro/internal/guard"
+)
+
+func TestServicePlanDeterministicFromSeed(t *testing.T) {
+	run := func() []ServiceEvent {
+		p := NewServicePlan(42).
+			WithWALErrRate(0.3).
+			WithSyncStall(0.5, 3*time.Millisecond).
+			WithJobFaults(0.2, 0.2).
+			WithJobDelay(0.4, 2*time.Millisecond)
+		for i := 0; i < 20; i++ {
+			p.WALWriteErr()
+			p.WALSyncStall()
+			p.JobFault("job-a")
+			p.JobDelay("job-a")
+		}
+		return p.ServiceEvents()
+	}
+	a, b := run(), run()
+	if len(a) != len(b) || len(a) != 80 {
+		t.Fatalf("event counts: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("decision %d diverged for the same seed: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+	// The configured rates actually fire somewhere in the sequence.
+	var walErrs, stalls, faults, delays int
+	for _, e := range a {
+		switch {
+		case e.Op == "wal_write" && e.Err:
+			walErrs++
+		case e.Op == "wal_sync" && e.Delay > 0:
+			stalls++
+		case e.Op == "job_fault" && e.Kind != guard.FaultNone:
+			faults++
+		case e.Op == "job_delay" && e.Delay > 0:
+			delays++
+		}
+	}
+	if walErrs == 0 || stalls == 0 || faults == 0 || delays == 0 {
+		t.Fatalf("rates never fired: walErrs=%d stalls=%d faults=%d delays=%d", walErrs, stalls, faults, delays)
+	}
+}
+
+func TestServicePlanForcedFaults(t *testing.T) {
+	p := NewServicePlan(1).
+		ForceWALErrs(2).
+		ForceJobFault("j1", guard.FaultDeadline, guard.FaultPanic)
+
+	if err := p.WALWriteErr(); !errors.Is(err, ErrWALInjected) {
+		t.Fatalf("first forced WAL error: %v", err)
+	}
+	if err := p.WALWriteErr(); !errors.Is(err, ErrWALInjected) {
+		t.Fatalf("second forced WAL error: %v", err)
+	}
+	if err := p.WALWriteErr(); err != nil {
+		t.Fatalf("force exhausted but append still fails: %v", err)
+	}
+
+	if got := p.JobFault("j1"); got != guard.FaultDeadline {
+		t.Fatalf("attempt 1 fault = %v, want deadline", got)
+	}
+	if got := p.JobFault("j1"); got != guard.FaultPanic {
+		t.Fatalf("attempt 2 fault = %v, want panic", got)
+	}
+	if got := p.JobFault("j1"); got != guard.FaultNone {
+		t.Fatalf("queue exhausted but attempt 3 still faulted: %v", got)
+	}
+	// Other jobs are untouched by a targeted force.
+	if got := p.JobFault("j2"); got != guard.FaultNone {
+		t.Fatalf("unrelated job faulted: %v", got)
+	}
+}
+
+func TestServicePlanZeroValueInjectsNothing(t *testing.T) {
+	p := NewServicePlan(7)
+	for i := 0; i < 50; i++ {
+		if err := p.WALWriteErr(); err != nil {
+			t.Fatal("unconfigured plan injected a WAL error")
+		}
+		if d := p.WALSyncStall(); d != 0 {
+			t.Fatal("unconfigured plan injected a stall")
+		}
+		if k := p.JobFault("x"); k != guard.FaultNone {
+			t.Fatal("unconfigured plan injected a job fault")
+		}
+		if d := p.JobDelay("x"); d != 0 {
+			t.Fatal("unconfigured plan injected a delay")
+		}
+	}
+	if got := len(p.ServiceEvents()); got != 200 {
+		t.Fatalf("consultations not logged: %d events, want 200", got)
+	}
+}

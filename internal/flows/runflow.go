@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/genlib"
+	"repro/internal/guard"
 	"repro/internal/network"
 	"repro/internal/timing"
 )
@@ -79,5 +80,6 @@ func RunFlow(ctx context.Context, name string, src *network.Network, lib *genlib
 		}
 		return r, nil
 	}
-	return nil, fmt.Errorf("flows: unknown flow %q (have %v)", name, flowOrder)
+	// Input-determined, so retrying can never fix it: classify permanent.
+	return nil, guard.WithClass(fmt.Errorf("flows: unknown flow %q (have %v)", name, flowOrder), guard.ErrClassPermanent)
 }

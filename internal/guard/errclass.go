@@ -1,0 +1,86 @@
+package guard
+
+import (
+	"context"
+	"errors"
+	"fmt"
+)
+
+// ErrClass partitions failures by whether retrying the same work can
+// possibly succeed. The serving layer (internal/serve) retries transient
+// failures with capped backoff and refuses to answer them from the result
+// cache; permanent failures are cached and reported immediately, because
+// re-running deterministic work on the same input reproduces them.
+type ErrClass int
+
+const (
+	// ErrClassNone classifies a nil error.
+	ErrClassNone ErrClass = iota
+	// ErrClassTransient marks failures tied to the execution environment
+	// rather than the input: exhausted wall-clock budgets, cancelled
+	// contexts, shed load, and panics contained at a pass boundary (a
+	// contained panic is treated as potentially load-dependent; the retry
+	// budget bounds the cost of a deterministic one).
+	ErrClassTransient
+	// ErrClassPermanent marks failures determined by the input alone:
+	// parse and validation errors, structural invariant violations, and
+	// verification mismatches. Retrying reproduces them.
+	ErrClassPermanent
+)
+
+func (c ErrClass) String() string {
+	switch c {
+	case ErrClassNone:
+		return "none"
+	case ErrClassTransient:
+		return "transient"
+	case ErrClassPermanent:
+		return "permanent"
+	}
+	return fmt.Sprintf("errclass(%d)", int(c))
+}
+
+// classifiedError pins an explicit class onto an error chain, overriding
+// Classify's structural inference.
+type classifiedError struct {
+	class ErrClass
+	err   error
+}
+
+func (e *classifiedError) Error() string { return e.err.Error() }
+func (e *classifiedError) Unwrap() error { return e.err }
+
+// WithClass wraps err with an explicit class, overriding the structural
+// classification of Classify. A nil err returns nil.
+func WithClass(err error, class ErrClass) error {
+	if err == nil {
+		return nil
+	}
+	return &classifiedError{class: class, err: err}
+}
+
+// Classify maps an error to its retry class. An explicit WithClass
+// annotation anywhere in the chain wins; otherwise budget exhaustion,
+// context cancellation and contained panics are transient, and everything
+// else — parse errors, invariant violations, verification mismatches — is
+// permanent. Rollback errors classify by their cause (their Unwrap chain
+// exposes it).
+func Classify(err error) ErrClass {
+	if err == nil {
+		return ErrClassNone
+	}
+	var ce *classifiedError
+	if errors.As(err, &ce) {
+		return ce.class
+	}
+	if errors.Is(err, ErrBudget) ||
+		errors.Is(err, context.DeadlineExceeded) ||
+		errors.Is(err, context.Canceled) {
+		return ErrClassTransient
+	}
+	var pe *PassError
+	if errors.As(err, &pe) {
+		return ErrClassTransient
+	}
+	return ErrClassPermanent
+}

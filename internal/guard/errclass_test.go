@@ -1,0 +1,66 @@
+package guard
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"testing"
+
+	"repro/internal/network"
+)
+
+func TestClassifyStructural(t *testing.T) {
+	cases := []struct {
+		name string
+		err  error
+		want ErrClass
+	}{
+		{"nil", nil, ErrClassNone},
+		{"budget sentinel", ErrBudget, ErrClassTransient},
+		{"wrapped budget", BudgetErr("op", context.DeadlineExceeded), ErrClassTransient},
+		{"deadline", context.DeadlineExceeded, ErrClassTransient},
+		{"canceled", fmt.Errorf("outer: %w", context.Canceled), ErrClassTransient},
+		{"pass panic", &PassError{Pass: "p", Recovered: "boom"}, ErrClassTransient},
+		{"rollback of panic", &RollbackError{Pass: "p", Cause: &PassError{Pass: "p"}}, ErrClassTransient},
+		{"rollback of budget", &RollbackError{Pass: "p", Cause: BudgetErr("p", nil)}, ErrClassTransient},
+		{"rollback of check violation", &RollbackError{Pass: "p", Cause: errors.New("invariant violation")}, ErrClassPermanent},
+		{"parse error", errors.New("blif: parse error"), ErrClassPermanent},
+	}
+	for _, tc := range cases {
+		if got := Classify(tc.err); got != tc.want {
+			t.Errorf("%s: Classify = %v, want %v", tc.name, got, tc.want)
+		}
+	}
+}
+
+func TestClassifyExplicitOverride(t *testing.T) {
+	// An explicit annotation beats the structural inference in both
+	// directions, and survives further wrapping.
+	perm := WithClass(BudgetErr("op", nil), ErrClassPermanent)
+	if got := Classify(perm); got != ErrClassPermanent {
+		t.Fatalf("override to permanent: got %v", got)
+	}
+	trans := fmt.Errorf("outer: %w", WithClass(errors.New("flaky io"), ErrClassTransient))
+	if got := Classify(trans); got != ErrClassTransient {
+		t.Fatalf("override to transient: got %v", got)
+	}
+	if WithClass(nil, ErrClassPermanent) != nil {
+		t.Fatal("WithClass(nil) must stay nil")
+	}
+	// The wrapper is transparent to errors.Is on the underlying chain.
+	if !errors.Is(perm, ErrBudget) {
+		t.Fatal("WithClass must not hide the wrapped chain")
+	}
+}
+
+func TestClassifyContainedPanicFromRun(t *testing.T) {
+	err := Run(context.Background(), "pass", &network.Network{}, func(context.Context) error {
+		panic("injected")
+	})
+	if err == nil {
+		t.Fatal("expected contained panic error")
+	}
+	if got := Classify(err); got != ErrClassTransient {
+		t.Fatalf("contained panic classifies %v, want transient", got)
+	}
+}

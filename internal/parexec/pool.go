@@ -1,6 +1,7 @@
 package parexec
 
 import (
+	"context"
 	"sync"
 	"sync/atomic"
 )
@@ -25,6 +26,7 @@ type Pool struct {
 	wg      sync.WaitGroup
 	mu      sync.Mutex
 	closed  bool
+	senders sync.WaitGroup // blocking Submits in flight, gates close(tasks)
 	running atomic.Int64
 	// OnPanic, when non-nil, receives values recovered from panicking
 	// tasks. Set it before the first Submit; a nil hook discards the
@@ -79,20 +81,70 @@ func (p *Pool) TrySubmit(fn func()) bool {
 	}
 }
 
+// Submit enqueues fn, blocking while the queue is full, and reports false
+// only when the pool is already closed. It exists for boot-time batch
+// enqueues (crash recovery re-submits an arbitrary backlog through a
+// fixed-size queue while the workers are already draining it); request
+// paths keep using TrySubmit so live traffic sheds instead of stalling.
+func (p *Pool) Submit(fn func()) bool {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return false
+	}
+	// The senders group keeps close(tasks) from racing this send: Close
+	// flips closed first (no new senders), then waits the group out.
+	p.senders.Add(1)
+	p.mu.Unlock()
+	p.tasks <- fn
+	p.senders.Done()
+	return true
+}
+
 // QueueLen reports the number of tasks waiting for a worker.
 func (p *Pool) QueueLen() int { return len(p.tasks) }
 
 // Running reports the number of tasks currently executing.
 func (p *Pool) Running() int { return int(p.running.Load()) }
 
-// Close stops accepting work and waits for queued and in-flight tasks to
-// finish. Idempotent.
-func (p *Pool) Close() {
+// beginClose flips the pool into its closing state exactly once: no new
+// submissions are accepted, and the task channel is closed as soon as the
+// last blocking Submit has handed off its task.
+func (p *Pool) beginClose() {
 	p.mu.Lock()
 	if !p.closed {
 		p.closed = true
-		close(p.tasks)
+		go func() {
+			p.senders.Wait()
+			close(p.tasks)
+		}()
 	}
 	p.mu.Unlock()
+}
+
+// Close stops accepting work and waits for queued and in-flight tasks to
+// finish. Idempotent.
+func (p *Pool) Close() {
+	p.beginClose()
 	p.wg.Wait()
+}
+
+// CloseWait stops accepting work and waits for queued and in-flight tasks
+// up to the context deadline. It reports true when the pool fully drained;
+// on false the workers keep running their current tasks to completion in
+// the background (the graceful-shutdown caller exits anyway). Idempotent
+// and safe to combine with Close.
+func (p *Pool) CloseWait(ctx context.Context) bool {
+	p.beginClose()
+	done := make(chan struct{})
+	go func() {
+		p.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return true
+	case <-ctx.Done():
+		return false
+	}
 }

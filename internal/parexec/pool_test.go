@@ -1,6 +1,7 @@
 package parexec
 
 import (
+	"context"
 	"sync"
 	"sync/atomic"
 	"testing"
@@ -92,4 +93,39 @@ func TestPoolCloseIsIdempotentAndRefuses(t *testing.T) {
 	if p.TrySubmit(func() {}) {
 		t.Fatal("closed pool accepted work")
 	}
+}
+
+func TestPoolBlockingSubmitDrainsThroughSmallQueue(t *testing.T) {
+	// 30 tasks pushed through a 1-deep queue by a single worker: Submit
+	// must block instead of dropping, and every task must run.
+	p := NewPool(1, 1)
+	var ran atomic.Int64
+	for i := 0; i < 30; i++ {
+		if !p.Submit(func() { ran.Add(1) }) {
+			t.Fatal("Submit refused on an open pool")
+		}
+	}
+	p.Close()
+	if got := ran.Load(); got != 30 {
+		t.Fatalf("ran %d of 30 tasks", got)
+	}
+	if p.Submit(func() {}) {
+		t.Fatal("Submit accepted on a closed pool")
+	}
+}
+
+func TestPoolCloseWait(t *testing.T) {
+	p := NewPool(1, 4)
+	block := make(chan struct{})
+	p.TrySubmit(func() { <-block })
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	if p.CloseWait(ctx) {
+		t.Fatal("CloseWait reported drained while a task was blocked")
+	}
+	close(block)
+	if !p.CloseWait(context.Background()) {
+		t.Fatal("CloseWait must drain once tasks finish")
+	}
+	p.Close() // still idempotent afterwards
 }

@@ -2,11 +2,11 @@ package serve
 
 import (
 	"encoding/json"
-	"errors"
 	"fmt"
 	"io"
 	"net/http"
 	"net/http/pprof"
+	"strconv"
 	"time"
 
 	"repro/internal/flows"
@@ -78,7 +78,9 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	}
 	j, cached, err := s.Submit(req)
 	switch {
-	case errors.Is(err, errShed):
+	case unavailable(err):
+		// Queue full, draining, or the WAL refused durability: the job was
+		// not accepted and the client should back off and retry.
 		w.Header().Set("Retry-After", "1")
 		writeError(w, http.StatusServiceUnavailable, err)
 		return
@@ -133,7 +135,11 @@ func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
 // handleEvents streams the job's event log as server-sent events: the full
 // history first (index-based replay, no gaps), then live appends until the
 // job reaches a terminal state or the client disconnects. The final frame
-// is `event: done` carrying the JobInfo summary.
+// is `event: done` carrying the JobInfo summary. A reconnecting client
+// sends the standard Last-Event-ID header and resumes exactly after the
+// last frame it saw (ids are the 1-based event indices). When the server
+// drains, subscribers get a final `event: shutdown` frame instead of a
+// silent hangup, so they know to reconnect elsewhere.
 func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 	j, ok := s.lookup(w, r)
 	if !ok {
@@ -146,6 +152,11 @@ func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 	w.WriteHeader(http.StatusOK)
 
 	idx := 0
+	if last := r.Header.Get("Last-Event-ID"); last != "" {
+		if n, err := strconv.Atoi(last); err == nil && n > 0 {
+			idx = n // frame ids are 1-based event indices: resume after n
+		}
+	}
 	for {
 		evs, state, changed := j.EventsSince(idx)
 		for _, e := range evs {
@@ -174,6 +185,12 @@ func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 		}
 		select {
 		case <-changed:
+		case <-s.drainCh:
+			fmt.Fprintf(w, "event: shutdown\ndata: {\"reason\":\"draining\"}\n\n")
+			if canFlush {
+				flusher.Flush()
+			}
+			return
 		case <-r.Context().Done():
 			return
 		}
@@ -183,6 +200,12 @@ func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	s.gRunning.Set(float64(s.pool.Running()))
 	s.gQueue.Set(float64(s.pool.QueueLen()))
+	s.mu.Lock()
+	s.gJobs.Set(float64(len(s.jobs)))
+	s.mu.Unlock()
+	if s.wal != nil {
+		s.gWALBytes.Set(float64(s.wal.Size()))
+	}
 	s.reg.SampleRuntime()
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 	s.reg.WritePrometheus(w)
@@ -202,8 +225,12 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 			failed++
 		}
 	}
-	writeJSON(w, http.StatusOK, map[string]any{
-		"status":  "ok",
+	status := "ok"
+	if s.Draining() {
+		status = "draining"
+	}
+	resp := map[string]any{
+		"status":  status,
 		"version": s.cfg.Version,
 		"uptime":  time.Since(s.start).String(),
 		"flows":   flows.FlowNames(),
@@ -213,5 +240,16 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 			"done":    done,
 			"failed":  failed,
 		},
-	})
+	}
+	if s.cfg.DataDir != "" {
+		rs := s.Recovery()
+		resp["recovery"] = map[string]int{
+			"snapshot": rs.Snapshot,
+			"replayed": rs.Replayed,
+			"dropped":  rs.Dropped,
+			"terminal": rs.Terminal,
+			"requeued": rs.Requeued,
+		}
+	}
+	writeJSON(w, http.StatusOK, resp)
 }

@@ -4,6 +4,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/guard"
 	"repro/internal/obs"
 )
 
@@ -39,7 +40,18 @@ type Job struct {
 	finished time.Time
 	result   *JobResult
 	errMsg   string
+	class    string // guard.ErrClass of the failure ("transient"|"permanent")
+	attempts int    // execution attempts consumed (retries + 1)
 	netlist  string // output BLIF, set on success
+
+	// eventsBase preserves the event count of a recovered job whose
+	// per-event history was not persisted; Info reports base + live.
+	eventsBase int
+	// durable is set once the job's terminal WAL record is known synced:
+	// a durable terminal job survives a crash byte-identically.
+	durable bool
+	// touched is the last submission or lookup, driving LRU eviction.
+	touched time.Time
 }
 
 // JobResult is the Table-I-style summary of a finished job.
@@ -67,6 +79,11 @@ type JobInfo struct {
 	Events   int        `json:"events"`
 	Result   *JobResult `json:"result,omitempty"`
 	Error    string     `json:"error,omitempty"`
+	// ErrorClass reports the retry class of a failed job ("transient" |
+	// "permanent"): transient failures are retried and never cached.
+	ErrorClass string `json:"error_class,omitempty"`
+	// Attempts counts execution attempts a terminal job consumed.
+	Attempts int `json:"attempts,omitempty"`
 	// Cached is set on POST responses that were answered by an existing
 	// job rather than a fresh run.
 	Cached bool `json:"cached,omitempty"`
@@ -79,6 +96,58 @@ func newJob(id string, req Request, now time.Time) *Job {
 		state:   StateQueued,
 		notify:  make(chan struct{}),
 		created: now,
+		touched: now,
+	}
+}
+
+// newRecoveredJob rebuilds a job from its persisted state. Queued and
+// running jobs come back queued (the caller re-enqueues them); terminal
+// jobs come back complete and durable, so the result cache survives the
+// restart.
+func newRecoveredJob(sj snapJob, now time.Time) *Job {
+	j := &Job{
+		ID:         sj.ID,
+		req:        sj.Req,
+		state:      sj.State,
+		notify:     make(chan struct{}),
+		created:    sj.Created,
+		started:    sj.Started,
+		finished:   sj.Finished,
+		result:     sj.Result,
+		errMsg:     sj.Error,
+		class:      sj.Class,
+		attempts:   sj.Attempts,
+		netlist:    sj.Netlist,
+		eventsBase: sj.Events,
+		touched:    now,
+	}
+	if !j.state.terminal() {
+		j.state = StateQueued
+		j.started = time.Time{}
+		j.finished = time.Time{}
+	} else {
+		j.durable = true
+	}
+	return j
+}
+
+// snapshot serializes the job for the compaction snapshot.
+func (j *Job) snapshot() snapJob {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return snapJob{
+		ID:       j.ID,
+		Req:      j.req,
+		State:    j.state,
+		Created:  j.created,
+		Started:  j.started,
+		Finished: j.finished,
+		Result:   j.result,
+		Netlist:  j.netlist,
+		Error:    j.errMsg,
+		Class:    j.class,
+		Attempts: j.attempts,
+		Events:   j.eventsBase + len(j.events),
 	}
 }
 
@@ -107,17 +176,45 @@ func (j *Job) setRunning(now time.Time) {
 	j.mu.Unlock()
 }
 
-func (j *Job) finish(now time.Time, res *JobResult, netlist string, err error) {
+// finish lands the job in a terminal state. class and attempts describe a
+// failure's retry classification and how many attempts were consumed;
+// durable records whether the terminal WAL record was synced.
+func (j *Job) finish(now time.Time, res *JobResult, netlist string, err error, class guard.ErrClass, attempts int, durable bool) {
 	j.mu.Lock()
 	j.finished = now
+	j.attempts = attempts
+	j.durable = durable
 	if err != nil {
 		j.state = StateFailed
 		j.errMsg = err.Error()
+		j.class = class.String()
 	} else {
 		j.state = StateDone
 		j.result = res
 		j.netlist = netlist
 	}
+	j.wake()
+	j.mu.Unlock()
+}
+
+// resetForRequeue returns a transiently failed job to the queued state for
+// a fresh run (resubmission after a deadline blip, or crash recovery of an
+// interrupted run). The original creation time is kept — it is the same
+// submission — but results, errors, attempts and the event log start over.
+func (j *Job) resetForRequeue(now time.Time) {
+	j.mu.Lock()
+	j.state = StateQueued
+	j.started = time.Time{}
+	j.finished = time.Time{}
+	j.result = nil
+	j.errMsg = ""
+	j.class = ""
+	j.attempts = 0
+	j.netlist = ""
+	j.events = nil
+	j.eventsBase = 0
+	j.durable = false
+	j.touched = now
 	j.wake()
 	j.mu.Unlock()
 }
@@ -144,16 +241,18 @@ func (j *Job) Info() JobInfo {
 	j.mu.Lock()
 	defer j.mu.Unlock()
 	return JobInfo{
-		ID:       j.ID,
-		Flow:     j.req.Flow,
-		Format:   j.req.Format,
-		State:    j.state,
-		Created:  j.created,
-		Started:  j.started,
-		Finished: j.finished,
-		Events:   len(j.events),
-		Result:   j.result,
-		Error:    j.errMsg,
+		ID:         j.ID,
+		Flow:       j.req.Flow,
+		Format:     j.req.Format,
+		State:      j.state,
+		Created:    j.created,
+		Started:    j.started,
+		Finished:   j.finished,
+		Events:     j.eventsBase + len(j.events),
+		Result:     j.result,
+		Error:      j.errMsg,
+		ErrorClass: j.class,
+		Attempts:   j.attempts,
 	}
 }
 
@@ -162,6 +261,38 @@ func (j *Job) State() JobState {
 	j.mu.Lock()
 	defer j.mu.Unlock()
 	return j.state
+}
+
+// stateClass reports the state together with the failure class (empty
+// unless failed).
+func (j *Job) stateClass() (JobState, string) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.state, j.class
+}
+
+// Durable reports whether the job's terminal record is known synced in the
+// WAL: a durable terminal job survives a crash byte-identically (the chaos
+// harness keys its strongest assertion on this).
+func (j *Job) Durable() bool {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.durable
+}
+
+// touch refreshes the LRU clock; callers hold the server map lock, not
+// j.mu, so it takes the job lock itself.
+func (j *Job) touch(now time.Time) {
+	j.mu.Lock()
+	j.touched = now
+	j.mu.Unlock()
+}
+
+// lruKey returns (terminal, touched, finished) for eviction decisions.
+func (j *Job) lruKey() (terminal bool, touched, finished time.Time) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.state.terminal(), j.touched, j.finished
 }
 
 // Netlist returns the output BLIF once the job is done ("" otherwise).

@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"io"
 	"math"
+	"math/rand"
 	"net/http"
 	"sort"
 	"strings"
@@ -32,13 +33,20 @@ type LoadConfig struct {
 	Flow string
 	// Verify asks the service to verify each result.
 	Verify bool
+	// Retry shapes the client's reaction to 503s and transport errors: the
+	// same capped-exponential-with-jitter policy the server uses for job
+	// retries, so both sides of the connection back off in the same shape.
+	Retry RetryPolicy
 	// Client overrides the HTTP client (tests inject httptest clients).
 	Client *http.Client
 	// Log receives progress lines; nil discards them.
 	Log io.Writer
 }
 
-// LoadReport is the benchmark artifact (schema bench_serve/v1).
+// LoadReport is the benchmark artifact (schema bench_serve/v2). v2 adds
+// the robustness counters (non-2xx responses, client retries, jobs
+// recovered across an outage) and the pre-restart cache hit rate used by
+// the two-phase crash-recovery replay.
 type LoadReport struct {
 	Schema      string   `json:"schema"`
 	Target      string   `json:"target"`
@@ -53,8 +61,24 @@ type LoadReport struct {
 	Shed      int `json:"shed"`
 	CacheHits int `json:"cache_hits"`
 
+	// Non2xx counts HTTP responses outside the 2xx range (shed 503s, error
+	// statuses) across submissions and polls.
+	Non2xx int `json:"non_2xx"`
+	// Retries counts submission attempts beyond the first (backoff after a
+	// 503 or a transport error).
+	Retries int `json:"retries"`
+	// Recovered counts jobs that completed only after the client observed
+	// an outage (transport error or 503 mid-lifecycle) — i.e. work that
+	// survived a server restart.
+	Recovered int `json:"recovered"`
+
 	JobsPerSec   float64 `json:"jobs_per_sec"`
 	CacheHitRate float64 `json:"cache_hit_rate"`
+	// CacheHitRatePreRestart carries phase one's hit rate in a two-phase
+	// crash-recovery replay (-loadgen-restart): comparing it with
+	// CacheHitRate (phase two, after the restart) shows whether the durable
+	// log preserved the cache.
+	CacheHitRatePreRestart float64 `json:"cache_hit_rate_pre_restart,omitempty"`
 
 	LatencyMsP50  float64 `json:"latency_ms_p50"`
 	LatencyMsP90  float64 `json:"latency_ms_p90"`
@@ -62,6 +86,9 @@ type LoadReport struct {
 	LatencyMsMean float64 `json:"latency_ms_mean"`
 	LatencyMsMax  float64 `json:"latency_ms_max"`
 }
+
+// LoadSchema is the current report schema tag.
+const LoadSchema = "bench_serve/v2"
 
 // DefaultLoadCircuits is the cheap trio used when LoadConfig.Circuits is
 // empty: small enough that a smoke run finishes in seconds, and three
@@ -72,6 +99,10 @@ var DefaultLoadCircuits = []string{"bbtas", "s27", "ex6"}
 // RunLoad replays the named benchmark circuits against cfg.Target at
 // cfg.QPS for cfg.Duration, polls every job to completion, and reports
 // end-to-end latency percentiles, throughput and the cache hit rate.
+// Submissions that hit a 503 or a transport error are retried under
+// cfg.Retry, and jobs that complete after an observed outage are counted
+// as recovered, so a run spanning a server restart quantifies how much
+// work the durable log saved.
 func RunLoad(cfg LoadConfig) (*LoadReport, error) {
 	if cfg.QPS <= 0 {
 		cfg.QPS = 2
@@ -85,6 +116,7 @@ func RunLoad(cfg LoadConfig) (*LoadReport, error) {
 	if len(cfg.Circuits) == 0 {
 		cfg.Circuits = DefaultLoadCircuits
 	}
+	cfg.Retry = cfg.Retry.withDefaults()
 	client := cfg.Client
 	if client == nil {
 		client = &http.Client{Timeout: 30 * time.Second}
@@ -114,7 +146,7 @@ func RunLoad(cfg LoadConfig) (*LoadReport, error) {
 	}
 
 	rep := &LoadReport{
-		Schema:   "bench_serve/v1",
+		Schema:   LoadSchema,
 		Target:   cfg.Target,
 		Flow:     cfg.Flow,
 		Circuits: cfg.Circuits,
@@ -125,7 +157,7 @@ func RunLoad(cfg LoadConfig) (*LoadReport, error) {
 		latencies []float64
 		wg        sync.WaitGroup
 	)
-	record := func(d time.Duration, cached bool, failed bool) {
+	record := func(d time.Duration, cached, failed, recovered bool) {
 		mu.Lock()
 		defer mu.Unlock()
 		switch {
@@ -134,10 +166,19 @@ func RunLoad(cfg LoadConfig) (*LoadReport, error) {
 		default:
 			rep.Completed++
 			latencies = append(latencies, float64(d)/float64(time.Millisecond))
+			if recovered {
+				rep.Recovered++
+			}
 		}
 		if cached {
 			rep.CacheHits++
 		}
+	}
+	count := func(non2xx, retries int) {
+		mu.Lock()
+		rep.Non2xx += non2xx
+		rep.Retries += retries
+		mu.Unlock()
 	}
 
 	interval := time.Duration(float64(time.Second) / cfg.QPS)
@@ -148,13 +189,17 @@ func RunLoad(cfg LoadConfig) (*LoadReport, error) {
 	i := 0
 	for now := start; now.Before(deadline); now = <-tick.C {
 		netlist := netlists[i%len(netlists)]
+		seq := i
 		i++
 		rep.Submitted++
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
+			// Per-submission deterministic jitter stream.
+			rng := rand.New(rand.NewSource(cfg.Retry.Seed + int64(seq)))
 			t0 := time.Now()
-			info, cached, err := submitJob(client, cfg.Target, Request{Netlist: netlist, Flow: cfg.Flow, Verify: cfg.Verify})
+			info, cached, st, err := submitJob(client, cfg.Target, Request{Netlist: netlist, Flow: cfg.Flow, Verify: cfg.Verify}, cfg.Retry, rng)
+			count(st.non2xx, st.retries)
 			if err != nil {
 				mu.Lock()
 				rep.Shed++
@@ -162,13 +207,15 @@ func RunLoad(cfg LoadConfig) (*LoadReport, error) {
 				logf("loadgen: submit: %v", err)
 				return
 			}
-			final, err := pollJob(client, cfg.Target, info.ID)
+			sawOutage := st.retries > 0
+			final, outage, err := pollJob(client, cfg.Target, info.ID, cfg.Retry, rng)
+			sawOutage = sawOutage || outage
 			if err != nil || final.State != StateDone {
-				record(0, cached, true)
+				record(0, cached, true, false)
 				logf("loadgen: job %s: state=%s err=%v", info.ID, final.State, err)
 				return
 			}
-			record(time.Since(t0), cached, false)
+			record(time.Since(t0), cached, false, sawOutage)
 		}()
 	}
 	wg.Wait()
@@ -192,8 +239,8 @@ func RunLoad(cfg LoadConfig) (*LoadReport, error) {
 		rep.LatencyMsMean = sum / float64(len(latencies))
 		rep.LatencyMsMax = latencies[len(latencies)-1]
 	}
-	logf("loadgen: %d submitted, %d completed, %d failed, %d shed, cache hit rate %.2f, p50 %.1fms p99 %.1fms",
-		rep.Submitted, rep.Completed, rep.Failed, rep.Shed, rep.CacheHitRate, rep.LatencyMsP50, rep.LatencyMsP99)
+	logf("loadgen: %d submitted, %d completed, %d failed, %d shed, %d retries, %d recovered, cache hit rate %.2f, p50 %.1fms p99 %.1fms",
+		rep.Submitted, rep.Completed, rep.Failed, rep.Shed, rep.Retries, rep.Recovered, rep.CacheHitRate, rep.LatencyMsP50, rep.LatencyMsP99)
 	return rep, nil
 }
 
@@ -212,42 +259,95 @@ func percentile(sorted []float64, q float64) float64 {
 	return sorted[lo]*(1-frac) + sorted[hi]*frac
 }
 
-func submitJob(client *http.Client, target string, req Request) (JobInfo, bool, error) {
-	body, err := json.Marshal(req)
-	if err != nil {
-		return JobInfo{}, false, err
-	}
-	resp, err := client.Post(target+"/jobs", "application/json", bytes.NewReader(body))
-	if err != nil {
-		return JobInfo{}, false, err
-	}
-	defer resp.Body.Close()
-	if resp.StatusCode != http.StatusAccepted && resp.StatusCode != http.StatusOK {
-		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
-		return JobInfo{}, false, fmt.Errorf("POST /jobs: %s: %s", resp.Status, bytes.TrimSpace(msg))
-	}
-	var info JobInfo
-	if err := json.NewDecoder(resp.Body).Decode(&info); err != nil {
-		return JobInfo{}, false, err
-	}
-	return info, info.Cached, nil
+// submitStats carries the per-submission robustness counters back to the
+// aggregator.
+type submitStats struct {
+	non2xx  int
+	retries int
 }
 
-func pollJob(client *http.Client, target, id string) (JobInfo, error) {
-	backoff := 5 * time.Millisecond
-	for {
-		resp, err := client.Get(target + "/jobs/" + id)
-		if err != nil {
-			return JobInfo{}, err
+// submitJob POSTs the request, retrying 503s and transport errors under
+// the shared backoff policy. Permanent statuses (400s other than 429) fail
+// immediately.
+func submitJob(client *http.Client, target string, req Request, policy RetryPolicy, rng *rand.Rand) (JobInfo, bool, submitStats, error) {
+	var st submitStats
+	body, err := json.Marshal(req)
+	if err != nil {
+		return JobInfo{}, false, st, err
+	}
+	var lastErr error
+	for attempt := 0; ; attempt++ {
+		if attempt > 0 {
+			if attempt > policy.Max {
+				return JobInfo{}, false, st, lastErr
+			}
+			st.retries++
+			time.Sleep(policy.Backoff(attempt-1, rng))
 		}
-		var info JobInfo
-		err = json.NewDecoder(resp.Body).Decode(&info)
-		resp.Body.Close()
+		resp, err := client.Post(target+"/jobs", "application/json", bytes.NewReader(body))
 		if err != nil {
-			return JobInfo{}, err
+			lastErr = err // transport error: server may be restarting
+			continue
+		}
+		if resp.StatusCode == http.StatusAccepted || resp.StatusCode == http.StatusOK {
+			var info JobInfo
+			err := json.NewDecoder(resp.Body).Decode(&info)
+			resp.Body.Close()
+			if err != nil {
+				return JobInfo{}, false, st, err
+			}
+			return info, info.Cached, st, nil
+		}
+		st.non2xx++
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+		resp.Body.Close()
+		lastErr = fmt.Errorf("POST /jobs: %s: %s", resp.Status, bytes.TrimSpace(msg))
+		if resp.StatusCode != http.StatusServiceUnavailable && resp.StatusCode != http.StatusTooManyRequests {
+			return JobInfo{}, false, st, lastErr // permanent: bad request etc.
+		}
+	}
+}
+
+// pollJob polls the job to a terminal state. Transport errors and 5xx
+// statuses are tolerated with the retry policy's capped backoff (the
+// server may be restarting mid-poll); outage reports whether any were
+// seen, so the caller can count the job as recovered.
+func pollJob(client *http.Client, target, id string, policy RetryPolicy, rng *rand.Rand) (info JobInfo, outage bool, err error) {
+	backoff := 5 * time.Millisecond
+	consecutiveErrs := 0
+	for {
+		resp, gerr := client.Get(target + "/jobs/" + id)
+		if gerr != nil || resp.StatusCode >= 500 {
+			if gerr == nil {
+				io.Copy(io.Discard, io.LimitReader(resp.Body, 4096))
+				resp.Body.Close()
+			}
+			outage = true
+			consecutiveErrs++
+			// Give a restarting server policy.Max+1 windows of the capped
+			// backoff before declaring the job lost.
+			if consecutiveErrs > 8*(policy.Max+1) {
+				if gerr == nil {
+					gerr = fmt.Errorf("GET /jobs/%s: %s", id, resp.Status)
+				}
+				return JobInfo{}, outage, gerr
+			}
+			time.Sleep(policy.Backoff(consecutiveErrs-1, rng))
+			continue
+		}
+		consecutiveErrs = 0
+		derr := json.NewDecoder(resp.Body).Decode(&info)
+		resp.Body.Close()
+		if resp.StatusCode == http.StatusNotFound {
+			// The job vanished (evicted, or acked but lost — the chaos
+			// suite proves the latter cannot happen for durable acks).
+			return JobInfo{}, outage, fmt.Errorf("GET /jobs/%s: gone", id)
+		}
+		if derr != nil {
+			return JobInfo{}, outage, derr
 		}
 		if info.State.terminal() {
-			return info, nil
+			return info, outage, nil
 		}
 		time.Sleep(backoff)
 		if backoff < 200*time.Millisecond {

@@ -1,0 +1,169 @@
+package serve
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"time"
+)
+
+// RecoveryStats summarizes what boot replay found in the durable log.
+type RecoveryStats struct {
+	// Snapshot is the number of jobs loaded from the compaction snapshot.
+	Snapshot int
+	// Replayed is the number of WAL records applied on top.
+	Replayed int
+	// Dropped counts torn or corrupt trailing WAL lines that were
+	// discarded (data past the last durable point).
+	Dropped int
+	// Terminal and Requeued partition the recovered jobs: terminal ones
+	// repopulate the result cache, interrupted ones go back on the queue.
+	Terminal int
+	Requeued int
+}
+
+func (r RecoveryStats) String() string {
+	return fmt.Sprintf("snapshot=%d replayed=%d dropped=%d terminal=%d requeued=%d",
+		r.Snapshot, r.Replayed, r.Dropped, r.Terminal, r.Requeued)
+}
+
+// Recovery reports the boot replay of the last New (zero without DataDir).
+func (s *Server) Recovery() RecoveryStats { return s.recovery }
+
+// foldLog replays recs over the snapshot state, returning the folded job
+// states in submission order. Records are idempotent state-setters, so
+// records already folded into the snapshot (a crash between snapshot
+// rename and segment removal) replay harmlessly. Both boot recovery and
+// log compaction reduce through this one function, which is what makes
+// "compact then crash" and "crash then replay" reach the same state.
+func foldLog(snap []snapJob, recs []walRecord) (map[string]*snapJob, []string) {
+	states := make(map[string]*snapJob, len(snap))
+	var order []string
+	for i := range snap {
+		sj := snap[i]
+		states[sj.ID] = &sj
+		order = append(order, sj.ID)
+	}
+	for _, rec := range recs {
+		switch rec.Type {
+		case "submitted":
+			if _, ok := states[rec.ID]; ok || rec.Req == nil {
+				continue
+			}
+			states[rec.ID] = &snapJob{ID: rec.ID, Req: *rec.Req, State: StateQueued, Created: rec.Time}
+			order = append(order, rec.ID)
+		case "running":
+			if sj, ok := states[rec.ID]; ok && !sj.State.terminal() {
+				sj.State = StateRunning
+				sj.Started = rec.Time
+			}
+		case "requeued":
+			if sj, ok := states[rec.ID]; ok {
+				*sj = snapJob{ID: sj.ID, Req: sj.Req, State: StateQueued, Created: sj.Created}
+			}
+		case "done":
+			if sj, ok := states[rec.ID]; ok {
+				sj.State = StateDone
+				sj.Started, sj.Finished = rec.Started, rec.Time
+				sj.Result, sj.Netlist = rec.Result, rec.Netlist
+				sj.Error, sj.Class = "", ""
+				sj.Attempts, sj.Events = rec.Attempts, rec.Events
+			}
+		case "failed":
+			if sj, ok := states[rec.ID]; ok {
+				sj.State = StateFailed
+				sj.Started, sj.Finished = rec.Started, rec.Time
+				sj.Result, sj.Netlist = nil, ""
+				sj.Error, sj.Class = rec.Error, rec.Class
+				sj.Attempts, sj.Events = rec.Attempts, rec.Events
+			}
+		case "evicted":
+			delete(states, rec.ID)
+		}
+	}
+	return states, order
+}
+
+// orderedSnap flattens folded states into snapshot order, skipping evicted
+// entries.
+func orderedSnap(states map[string]*snapJob, order []string) []snapJob {
+	out := make([]snapJob, 0, len(states))
+	for _, id := range order {
+		if sj, ok := states[id]; ok {
+			out = append(out, *sj)
+		}
+	}
+	return out
+}
+
+// recover loads the snapshot and WAL from cfg.DataDir, rebuilds the job
+// map (preserving submission order), re-enqueues jobs that were queued or
+// running at crash time, and reopens the log for appending. Terminal jobs
+// come back with their results, so the content-addressed cache — and its
+// hit rate — survives the restart. Boot also folds whatever it replayed
+// into a fresh snapshot and starts an empty log, so every boot begins
+// compacted and a half-finished compaction (sealed segment left behind)
+// is healed here.
+func (s *Server) recover() error {
+	dir := s.cfg.DataDir
+	snap, recs, dropped, err := loadLog(dir)
+	if err != nil {
+		return fmt.Errorf("serve: recovery: %w", err)
+	}
+	now := time.Now()
+	st := RecoveryStats{Snapshot: len(snap), Replayed: len(recs), Dropped: dropped}
+
+	states, order := foldLog(snap, recs)
+
+	if len(recs) > 0 {
+		// Boot compaction: persist the folded state and retire both log
+		// segments. Crash-ordering: the snapshot lands (atomically) before
+		// any segment is removed, so every intermediate state replays to
+		// the same fold.
+		if err := writeSnapshot(dir, orderedSnap(states, order)); err != nil {
+			return fmt.Errorf("serve: recovery: %w", err)
+		}
+		os.Remove(filepath.Join(dir, walOldName))
+		os.Remove(filepath.Join(dir, walFileName))
+		syncDir(dir)
+	}
+
+	var requeue []*Job
+	s.mu.Lock()
+	for _, id := range order {
+		sj, ok := states[id]
+		if !ok {
+			continue // evicted
+		}
+		j := newRecoveredJob(*sj, now)
+		s.jobs[id] = j
+		s.order = append(s.order, id)
+		if j.State() == StateQueued {
+			requeue = append(requeue, j)
+			st.Requeued++
+		} else {
+			st.Terminal++
+		}
+	}
+	s.mu.Unlock()
+
+	// Reopen the log for appending before re-running anything, so the
+	// re-runs' transitions are themselves durable.
+	w, err := openWAL(dir, s.cfg.Chaos)
+	if err != nil {
+		return fmt.Errorf("serve: recovery: %w", err)
+	}
+	s.wal = w
+
+	// Re-enqueue interrupted jobs in their original submission order. The
+	// blocking Submit pushes an arbitrary backlog through the bounded
+	// queue: the workers are already draining it.
+	for _, j := range requeue {
+		s.mRecovered.Inc()
+		if !s.pool.Submit(func() { s.runJob(j) }) {
+			break // pool closed mid-boot (shutdown race); jobs stay queued
+		}
+	}
+	s.recovery = st
+	return nil
+}

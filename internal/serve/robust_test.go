@@ -1,0 +1,355 @@
+package serve
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/faults"
+	"repro/internal/guard"
+)
+
+// TestServeRetriesTransientFault forces a contained panic on a job's first
+// attempt: the retry loop must re-run it and the second, clean attempt must
+// succeed, with the attempt count and retry metric showing the path taken.
+func TestServeRetriesTransientFault(t *testing.T) {
+	req := Request{Netlist: circuitBLIF(t, "s27"), Flow: "script"}
+	id := req.normalized().Key()
+	plan := faults.NewServicePlan(1).ForceJobFault(id, guard.FaultPanic)
+	s, err := New(Config{Workers: 1, Chaos: plan, Retry: RetryPolicy{Max: 2, Base: time.Millisecond, Cap: 2 * time.Millisecond, Seed: 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	j, cached, err := s.Submit(req)
+	if err != nil || cached {
+		t.Fatalf("submit: cached=%v err=%v", cached, err)
+	}
+	info := waitTerminal(t, s, j.ID)
+	if info.State != StateDone {
+		t.Fatalf("job failed despite retry budget: %+v", info)
+	}
+	if info.Attempts != 2 {
+		t.Fatalf("attempts = %d, want 2 (panic, then clean run)", info.Attempts)
+	}
+	if got := s.mRetries.Value(); got != 1 {
+		t.Fatalf("resynd_job_retries_total = %v, want 1", got)
+	}
+}
+
+// TestServeTransientFailureNotCachePoisoned is the regression test for the
+// poisoned-cache bug: a submission that failed transiently (here: an
+// injected exhausted deadline with retries disabled) must NOT be served as
+// a cache hit on resubmission — the job re-runs and succeeds.
+func TestServeTransientFailureNotCachePoisoned(t *testing.T) {
+	req := Request{Netlist: circuitBLIF(t, "s27"), Flow: "script"}
+	id := req.normalized().Key()
+	plan := faults.NewServicePlan(1).ForceJobFault(id, guard.FaultDeadline)
+	// Max: -1 disables retries, so the transient failure lands terminal.
+	s, ts := startServer(t, Config{Workers: 1, Chaos: plan, Retry: RetryPolicy{Max: -1}})
+
+	info, status := postJob(t, ts.URL, req)
+	if status != http.StatusAccepted {
+		t.Fatalf("fresh submission status = %d", status)
+	}
+	failed := waitDone(t, ts.URL, info.ID)
+	if failed.State != StateFailed || failed.ErrorClass != "transient" {
+		t.Fatalf("setup: want transient failure, got %+v", failed)
+	}
+
+	// Resubmit the identical request: the poisoned entry must be re-run,
+	// not replayed.
+	again, status := postJob(t, ts.URL, req)
+	if status != http.StatusAccepted {
+		t.Fatalf("resubmission status = %d, want 202 (re-run, not cached)", status)
+	}
+	if again.Cached {
+		t.Fatal("transiently failed job served as a cache hit")
+	}
+	final := waitDone(t, ts.URL, again.ID)
+	if final.State != StateDone {
+		t.Fatalf("re-run failed: %+v", final)
+	}
+	if s.mRequeued.Value() != 1 {
+		t.Fatalf("resynd_jobs_requeued_total = %v, want 1", s.mRequeued.Value())
+	}
+
+	// And a third submission IS a plain cache hit: the fix must not disable
+	// caching of good results.
+	third, status := postJob(t, ts.URL, req)
+	if status != http.StatusOK || !third.Cached {
+		t.Fatalf("done job no longer cached: status=%d cached=%v", status, third.Cached)
+	}
+}
+
+// TestServeShedQueueFull pins the shed path: with one worker held by a slow
+// job and a one-deep queue occupied, the next submission must get 503 with
+// Retry-After, increment the shed counter, and leave no job behind in the
+// map.
+func TestServeShedQueueFull(t *testing.T) {
+	blifs := []string{circuitBLIF(t, "bbtas"), circuitBLIF(t, "s27"), circuitBLIF(t, "ex6")}
+	// Every job stalls 400ms before running: job 0 holds the worker, job 1
+	// holds the queue slot, job 2 must shed.
+	plan := faults.NewServicePlan(1).WithJobDelay(1.0, 400*time.Millisecond)
+	s, ts := startServer(t, Config{Workers: 1, Queue: 1, Chaos: plan})
+
+	var ids []string
+	for i := 0; i < 2; i++ {
+		info, status := postJob(t, ts.URL, Request{Netlist: blifs[i], Flow: "script"})
+		if status != http.StatusAccepted {
+			t.Fatalf("job %d: status %d", i, status)
+		}
+		ids = append(ids, info.ID)
+	}
+
+	shedReq := Request{Netlist: blifs[2], Flow: "script"}
+	body, _ := json.Marshal(shedReq)
+	resp, err := http.Post(ts.URL+"/jobs", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("status = %d, want 503", resp.StatusCode)
+	}
+	if ra := resp.Header.Get("Retry-After"); ra == "" {
+		t.Fatal("503 without Retry-After")
+	}
+	if got := s.mShed.Value(); got != 1 {
+		t.Fatalf("resynd_jobs_shed_total = %v, want 1", got)
+	}
+	// The shed job must leave the map clean: not listed, not fetchable.
+	if _, ok := s.Job(shedReq.normalized().Key()); ok {
+		t.Fatal("shed submission left a job in the map")
+	}
+	for _, info := range s.Jobs() {
+		if info.ID == shedReq.normalized().Key() {
+			t.Fatal("shed submission listed in /jobs")
+		}
+	}
+	// The accepted jobs still complete.
+	for _, id := range ids {
+		waitTerminal(t, s, id)
+	}
+}
+
+// TestServeSSEReconnectWithLastEventID drops an SSE client mid-stream and
+// reconnects with the standard Last-Event-ID header: the replay must resume
+// exactly after the last delivered frame, with no duplicates and no gaps.
+func TestServeSSEReconnectWithLastEventID(t *testing.T) {
+	_, ts := startServer(t, Config{Workers: 1})
+	info, _ := postJob(t, ts.URL, Request{Netlist: circuitBLIF(t, "s27"), Flow: "script"})
+	waitDone(t, ts.URL, info.ID)
+
+	// First connection: read the full stream, note each frame's id.
+	full, ids := readSSEFrames(t, ts.URL, info.ID, "")
+	if len(full) < 4 {
+		t.Fatalf("job produced only %d events; need a few to split the stream", len(full))
+	}
+	cut := len(full) / 2
+	lastSeen := ids[cut-1]
+
+	// Reconnect as a client that saw frames 1..cut: the server must resume
+	// at cut+1.
+	resumed, resumedIDs := readSSEFrames(t, ts.URL, info.ID, fmt.Sprint(lastSeen))
+	if len(resumed) != len(full)-cut {
+		t.Fatalf("resumed stream has %d frames, want %d", len(resumed), len(full)-cut)
+	}
+	if resumedIDs[0] != lastSeen+1 {
+		t.Fatalf("resume started at id %d, want %d", resumedIDs[0], lastSeen+1)
+	}
+	for i, frame := range resumed {
+		if frame != full[cut+i] {
+			t.Fatalf("frame %d diverged after resume:\n full: %s\nresumed: %s", cut+i, full[cut+i], frame)
+		}
+	}
+}
+
+// readSSEFrames reads the event stream to the done frame, returning the
+// data payload and id of every regular frame. lastEventID, when non-empty,
+// is sent as the Last-Event-ID reconnection header.
+func readSSEFrames(t *testing.T, url, id, lastEventID string) (frames []string, ids []int) {
+	t.Helper()
+	req, err := http.NewRequest("GET", url+"/jobs/"+id+"/events", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lastEventID != "" {
+		req.Header.Set("Last-Event-ID", lastEventID)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 0, 64<<10), 1<<20)
+	curID := -1
+	inDone := false
+	for sc.Scan() {
+		line := sc.Text()
+		switch {
+		case strings.HasPrefix(line, "id: "):
+			fmt.Sscanf(line, "id: %d", &curID)
+		case line == "event: done":
+			inDone = true
+		case strings.HasPrefix(line, "data: "):
+			if inDone {
+				return frames, ids
+			}
+			frames = append(frames, strings.TrimPrefix(line, "data: "))
+			ids = append(ids, curID)
+		}
+	}
+	t.Fatalf("stream ended without done frame: %v", sc.Err())
+	return nil, nil
+}
+
+// TestServeGracefulDrain exercises the SIGTERM path at the package level:
+// draining refuses new work with 503 + Retry-After, streams a shutdown
+// frame to SSE subscribers, finishes in-flight jobs, and Shutdown returns
+// nil once drained.
+func TestServeGracefulDrain(t *testing.T) {
+	// Hold the job long enough that the drain demonstrably overlaps it.
+	plan := faults.NewServicePlan(1).WithJobDelay(1.0, 150*time.Millisecond)
+	s, err := New(Config{Workers: 1, Chaos: plan, DataDir: t.TempDir()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := newTestHTTP(t, s)
+
+	info, status := postJob(t, ts, Request{Netlist: circuitBLIF(t, "s27"), Flow: "script"})
+	if status != http.StatusAccepted {
+		t.Fatalf("submit status %d", status)
+	}
+
+	// Subscribe to the running job's stream, then drain: the subscriber
+	// must receive the shutdown frame rather than a silent hangup.
+	shutdownSeen := make(chan error, 1)
+	go func() {
+		resp, err := http.Get(ts + "/jobs/" + info.ID + "/events")
+		if err != nil {
+			shutdownSeen <- err
+			return
+		}
+		defer resp.Body.Close()
+		sc := bufio.NewScanner(resp.Body)
+		for sc.Scan() {
+			if sc.Text() == "event: shutdown" {
+				shutdownSeen <- nil
+				return
+			}
+			if sc.Text() == "event: done" {
+				// Job finished before the drain frame could be sent; also a
+				// clean outcome for the client.
+				shutdownSeen <- nil
+				return
+			}
+		}
+		shutdownSeen <- fmt.Errorf("stream ended without shutdown frame: %v", sc.Err())
+	}()
+	time.Sleep(20 * time.Millisecond) // let the subscriber attach
+
+	s.StartDrain()
+
+	// New submissions are refused while draining.
+	body, _ := json.Marshal(Request{Netlist: circuitBLIF(t, "bbtas"), Flow: "script"})
+	resp, err := http.Post(ts+"/jobs", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable || resp.Header.Get("Retry-After") == "" {
+		t.Fatalf("draining submission: status=%d Retry-After=%q", resp.StatusCode, resp.Header.Get("Retry-After"))
+	}
+
+	select {
+	case err := <-shutdownSeen:
+		if err != nil {
+			t.Fatal(err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("SSE subscriber never saw the shutdown frame")
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := s.Shutdown(ctx); err != nil {
+		t.Fatalf("drain did not complete: %v", err)
+	}
+	if got := s.pool.Running(); got != 0 {
+		t.Fatalf("%d jobs still running after Shutdown", got)
+	}
+	// The in-flight job finished rather than being dropped.
+	j, ok := s.Job(info.ID)
+	if !ok || !j.State().terminal() {
+		t.Fatalf("in-flight job not drained: present=%v", ok)
+	}
+}
+
+// TestServeCacheSurvivesGracefulRestart is the end-to-end durable-cache
+// check: submit, finish, shut down cleanly, boot a new server on the same
+// data dir, and the same submission must be a cache hit with the identical
+// result.
+func TestServeCacheSurvivesGracefulRestart(t *testing.T) {
+	dir := t.TempDir()
+	req := Request{Netlist: circuitBLIF(t, "s27"), Flow: "script", Verify: true}
+
+	s1, err := New(Config{Workers: 1, DataDir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	j, _, err := s1.Submit(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := waitTerminal(t, s1, j.ID)
+	if before.State != StateDone {
+		t.Fatalf("seed job failed: %+v", before)
+	}
+	netlistBefore := j.Netlist()
+	s1.Close()
+
+	s2, err := New(Config{Workers: 1, DataDir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	if rs := s2.Recovery(); rs.Terminal != 1 || rs.Requeued != 0 {
+		t.Fatalf("recovery stats: %+v", rs)
+	}
+	j2, cached, err := s2.Submit(req)
+	if err != nil || !cached {
+		t.Fatalf("restarted submission: cached=%v err=%v", cached, err)
+	}
+	after := j2.Info()
+	if after.State != StateDone || after.Result == nil || *after.Result != *before.Result {
+		t.Fatalf("recovered result diverged:\nbefore: %+v\nafter:  %+v", before.Result, after.Result)
+	}
+	if j2.Netlist() != netlistBefore {
+		t.Fatal("recovered output netlist differs")
+	}
+	if s2.mCacheHits.Value() != 1 {
+		t.Fatalf("cache hit not counted: %v", s2.mCacheHits.Value())
+	}
+}
+
+// newTestHTTP mounts the server on an httptest listener with cleanup that
+// closes the listener before the server (SSE streams end first).
+func newTestHTTP(t *testing.T, s *Server) string {
+	t.Helper()
+	ts := httptest.NewServer(s.Handler(false))
+	t.Cleanup(func() {
+		ts.Close()
+		s.Close()
+	})
+	return ts.URL
+}

@@ -11,6 +11,15 @@
 // obs.Registry, and verify with seqverify (falling back to random
 // simulation when the product machine is too large) — exactly the cmd/resyn
 // pipeline, behind HTTP.
+//
+// With Config.DataDir set the server is crash-safe: every job transition is
+// a CRC-checked record in an append-only log (wal.go), group-committed so a
+// submission is only acknowledged once it is durable, and boot replays the
+// log (recover.go) — terminal jobs repopulate the result cache, interrupted
+// ones re-enqueue. Failures are classified (guard.Classify): transient ones
+// retry with capped backoff and are never answered from the cache,
+// permanent ones are. Lifecycle and retention (drain on SIGTERM, LRU/TTL
+// eviction) live in lifecycle.go.
 package serve
 
 import (
@@ -19,8 +28,10 @@ import (
 	"encoding/hex"
 	"errors"
 	"fmt"
+	"math/rand"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/blif"
@@ -84,15 +95,19 @@ func (r Request) parse() (*network.Network, error) {
 	return nil, fmt.Errorf("serve: unknown format %q (blif | kiss2)", r.Format)
 }
 
+// validate rejects malformed requests; its errors are input-determined, so
+// they classify permanent.
 func (r Request) validate() error {
 	if strings.TrimSpace(r.Netlist) == "" {
-		return errors.New("serve: empty netlist")
+		return guard.WithClass(errors.New("serve: empty netlist"), guard.ErrClassPermanent)
 	}
 	if !flows.KnownFlow(r.Flow) {
-		return fmt.Errorf("serve: unknown flow %q (have %v)", r.Flow, flows.FlowNames())
+		return guard.WithClass(fmt.Errorf("serve: unknown flow %q (have %v)", r.Flow, flows.FlowNames()), guard.ErrClassPermanent)
 	}
-	_, err := r.parse()
-	return err
+	if _, err := r.parse(); err != nil {
+		return guard.WithClass(err, guard.ErrClassPermanent)
+	}
+	return nil
 }
 
 // Config tunes a Server. Zero values take defaults.
@@ -114,15 +129,54 @@ type Config struct {
 	SimCycles int
 	// Version is reported from /healthz.
 	Version string
+
+	// DataDir enables the durable job log: job transitions are written to
+	// an fsync-batched WAL under this directory and replayed on boot.
+	// Empty keeps the legacy in-memory-only behaviour.
+	DataDir string
+	// MaxJobs bounds the job map: once exceeded, the least recently
+	// touched *terminal* jobs are evicted (running and queued jobs are
+	// never evicted). 0 means unbounded.
+	MaxJobs int
+	// JobTTL evicts terminal jobs this long after they finished. 0 keeps
+	// them until MaxJobs pressure.
+	JobTTL time.Duration
+	// Retry governs re-execution of transiently failed jobs.
+	Retry RetryPolicy
+	// CompactEvery triggers WAL compaction into a snapshot after this
+	// many log records (default 4096; <0 disables).
+	CompactEvery int
+	// Chaos injects deterministic service-level faults (tests only; see
+	// internal/faults.ServicePlan). Nil disables.
+	Chaos Chaos
 }
 
 // Server owns the job cache and the worker pool. Create with New, mount
-// Handler on an http.Server, and Close on shutdown.
+// Handler on an http.Server, and Shutdown (or Close) on exit.
 type Server struct {
 	cfg  Config
 	lib  *genlib.Library
 	pool *parexec.Pool
 	reg  *obs.Registry
+	wal  *wal // nil without DataDir
+
+	// baseCtx parents every job context; Crash cancels it so in-flight
+	// work dies with the simulated process.
+	baseCtx    context.Context
+	baseCancel context.CancelFunc
+
+	draining atomic.Bool
+	crashed  atomic.Bool
+	drainCh  chan struct{} // closed by StartDrain; SSE handlers watch it
+
+	rngMu sync.Mutex
+	rng   *rand.Rand // retry jitter
+
+	janitorStop chan struct{}
+	janitorDone chan struct{}
+	janitorOnce sync.Once
+
+	recovery RecoveryStats
 
 	mu    sync.Mutex
 	jobs  map[string]*Job
@@ -135,32 +189,52 @@ type Server struct {
 	mShed      *obs.Counter
 	mDone      *obs.Counter
 	mFailed    *obs.Counter
+	mRetries   *obs.Counter
+	mRecovered *obs.Counter
+	mRequeued  *obs.Counter
+	mEvictLRU  *obs.Counter
+	mEvictTTL  *obs.Counter
+	mWALErrors *obs.Counter
+	mCompact   *obs.Counter
 	mJobSec    *obs.Histogram
 	gRunning   *obs.Gauge
 	gQueue     *obs.Gauge
+	gJobs      *obs.Gauge
+	gWALBytes  *obs.Gauge
 }
 
-// New builds a Server. The caller owns cfg.Registry (when set) and must
-// Close the server to drain the pool.
-func New(cfg Config) *Server {
+// New builds a Server, replaying the durable job log when cfg.DataDir is
+// set: terminal jobs come back as cache entries, interrupted ones are
+// re-enqueued. The caller owns cfg.Registry (when set) and must Shutdown
+// (or Close) the server.
+func New(cfg Config) (*Server, error) {
 	if cfg.Queue <= 0 {
 		cfg.Queue = 64
 	}
 	if cfg.SimCycles <= 0 {
 		cfg.SimCycles = sim.DefaultSpotCheck.CLI.Cycles
 	}
+	if cfg.CompactEvery == 0 {
+		cfg.CompactEvery = 4096
+	}
+	cfg.Retry = cfg.Retry.withDefaults()
 	reg := cfg.Registry
 	if reg == nil {
 		reg = obs.NewRegistry()
 	}
 	s := &Server{
-		cfg:   cfg,
-		lib:   genlib.Lib2(),
-		pool:  parexec.NewPool(cfg.Workers, cfg.Queue),
-		reg:   reg,
-		jobs:  make(map[string]*Job),
-		start: time.Now(),
+		cfg:         cfg,
+		lib:         genlib.Lib2(),
+		pool:        parexec.NewPool(cfg.Workers, cfg.Queue),
+		reg:         reg,
+		jobs:        make(map[string]*Job),
+		drainCh:     make(chan struct{}),
+		rng:         rand.New(rand.NewSource(cfg.Retry.Seed)),
+		janitorStop: make(chan struct{}),
+		janitorDone: make(chan struct{}),
+		start:       time.Now(),
 	}
+	s.baseCtx, s.baseCancel = context.WithCancel(context.Background())
 	s.pool.OnPanic = func(r any) {
 		// runJob already contains pass panics via guard; this hook is the
 		// last line of defense for bugs in the job plumbing itself.
@@ -168,56 +242,154 @@ func New(cfg Config) *Server {
 	}
 	s.mSubmitted = reg.Counter("resynd_jobs_submitted_total", "job submissions accepted (fresh or cached)", nil)
 	s.mCacheHits = reg.Counter("resynd_cache_hits_total", "submissions answered by an existing job", nil)
-	s.mShed = reg.Counter("resynd_jobs_shed_total", "submissions refused with 503 (queue full)", nil)
+	s.mShed = reg.Counter("resynd_jobs_shed_total", "submissions refused with 503 (queue full or draining)", nil)
 	s.mDone = reg.Counter("resynd_jobs_completed_total", "jobs finished", obs.Labels{"state": "done"})
 	s.mFailed = reg.Counter("resynd_jobs_completed_total", "jobs finished", obs.Labels{"state": "failed"})
+	s.mRetries = reg.Counter("resynd_job_retries_total", "transiently failed job attempts that were retried", nil)
+	s.mRecovered = reg.Counter("resynd_jobs_recovered_total", "jobs re-enqueued by crash recovery", nil)
+	s.mRequeued = reg.Counter("resynd_jobs_requeued_total", "transient-failed jobs re-run on resubmission", nil)
+	s.mEvictLRU = reg.Counter("resynd_jobs_evicted_total", "terminal jobs evicted from the map", obs.Labels{"reason": "lru"})
+	s.mEvictTTL = reg.Counter("resynd_jobs_evicted_total", "terminal jobs evicted from the map", obs.Labels{"reason": "ttl"})
+	s.mWALErrors = reg.Counter("resynd_wal_errors_total", "failed WAL appends (records not made durable)", nil)
+	s.mCompact = reg.Counter("resynd_wal_compactions_total", "WAL compactions into a snapshot", nil)
 	s.mJobSec = reg.Histogram("resynd_job_seconds", "end-to-end job wall time", obs.DefLatencyBuckets, nil)
 	s.gRunning = reg.Gauge("resynd_jobs_running", "jobs currently executing", nil)
 	s.gQueue = reg.Gauge("resynd_queue_depth", "jobs waiting for a worker", nil)
-	return s
+	s.gJobs = reg.Gauge("resynd_jobs_resident", "jobs resident in the map", nil)
+	s.gWALBytes = reg.Gauge("resynd_wal_bytes", "bytes in the current WAL generation", nil)
+
+	if cfg.DataDir != "" {
+		if err := s.recover(); err != nil {
+			s.pool.Close()
+			return nil, err
+		}
+	}
+	go s.janitor()
+	return s, nil
 }
 
 // Registry exposes the server's metrics registry (for samplers and tests).
 func (s *Server) Registry() *obs.Registry { return s.reg }
 
-// Close stops accepting jobs and waits for in-flight ones.
-func (s *Server) Close() { s.pool.Close() }
+// errShed reports a full worker queue and errDraining a server past
+// StartDrain; both map to 503 + Retry-After. errNotDurable reports a
+// submission whose WAL record could not be made durable — the job is not
+// accepted (an acked job must survive a crash), and the client should
+// retry.
+var (
+	errShed       = errors.New("serve: worker queue full")
+	errDraining   = errors.New("serve: draining, not accepting jobs")
+	errNotDurable = errors.New("serve: job log append failed, submission not accepted")
+)
+
+// unavailable reports whether err should be answered with 503+Retry-After.
+func unavailable(err error) bool {
+	return errors.Is(err, errShed) || errors.Is(err, errDraining) || errors.Is(err, errNotDurable)
+}
 
 // Submit content-addresses req, returning the (possibly pre-existing) job
-// and whether it was a cache hit. A validation failure returns an error the
-// HTTP layer maps to 400; a full queue returns errShed for 503.
-var errShed = errors.New("serve: worker queue full")
-
+// and whether it was a cache hit. A validation failure returns an error
+// the HTTP layer maps to 400; a full queue or draining server returns an
+// unavailable() error for 503. A cached job that failed transiently is
+// never served as a hit: it is reset and re-enqueued (fresh attempt
+// budget), fixing the poisoned-cache behaviour where one deadline blip
+// made a circuit permanently unserveable.
 func (s *Server) Submit(req Request) (*Job, bool, error) {
 	req.normalize()
 	if err := req.validate(); err != nil {
 		return nil, false, err
 	}
+	if s.draining.Load() {
+		s.mShed.Inc()
+		return nil, false, errDraining
+	}
 	id := req.Key()
+	now := time.Now()
+
 	s.mu.Lock()
 	if j, ok := s.jobs[id]; ok {
+		state, class := j.stateClass()
+		if state != StateFailed || class != guard.ErrClassTransient.String() {
+			j.touch(now)
+			s.mu.Unlock()
+			s.mSubmitted.Inc()
+			s.mCacheHits.Inc()
+			return j, true, nil
+		}
+		// Transient failure: re-run instead of serving the poisoned entry.
+		// The reset happens under s.mu so a concurrent resubmission sees
+		// StateQueued and coalesces instead of double-enqueueing.
+		j.resetForRequeue(now)
 		s.mu.Unlock()
+		if err := s.enqueue(j, walRecord{Type: "requeued", ID: id, Time: now}); err != nil {
+			// No worker slot (or no durability) for the re-run: land the job
+			// back in failed/transient so it is not stuck queued with no
+			// worker, and the next resubmission tries again.
+			j.finish(time.Now(), nil, "", err, guard.ErrClassTransient, 0, false)
+			return nil, false, err
+		}
 		s.mSubmitted.Inc()
-		s.mCacheHits.Inc()
-		return j, true, nil
+		s.mRequeued.Inc()
+		return j, false, nil
 	}
-	j := newJob(id, req, time.Now())
+	j := newJob(id, req, now)
 	s.jobs[id] = j
 	s.order = append(s.order, id)
 	s.mu.Unlock()
 
-	if !s.pool.TrySubmit(func() { s.runJob(j) }) {
-		s.mu.Lock()
-		delete(s.jobs, id)
-		if n := len(s.order); n > 0 && s.order[n-1] == id {
-			s.order = s.order[:n-1]
-		}
-		s.mu.Unlock()
-		s.mShed.Inc()
-		return nil, false, errShed
+	if err := s.enqueue(j, walRecord{Type: "submitted", ID: id, Time: now, Req: &req}); err != nil {
+		s.dropJob(id)
+		return nil, false, err
 	}
 	s.mSubmitted.Inc()
+	s.evictOverflow()
 	return j, false, nil
+}
+
+// enqueue reserves a pool slot for j, durably logs rec, and only then
+// releases the job to run — so a job never executes before the record that
+// would recover it is on disk, and a shed submission leaves no trace in
+// the log. On failure the caller rolls back its map entry.
+func (s *Server) enqueue(j *Job, rec walRecord) error {
+	ready := make(chan bool, 1)
+	if !s.pool.TrySubmit(func() {
+		if <-ready {
+			s.runJob(j)
+		}
+	}) {
+		s.mShed.Inc()
+		return errShed
+	}
+	if err := s.logRecord(rec); err != nil {
+		ready <- false
+		s.mShed.Inc()
+		return fmt.Errorf("%w: %v", errNotDurable, err)
+	}
+	ready <- true
+	return nil
+}
+
+// dropJob rolls a failed submission out of the map.
+func (s *Server) dropJob(id string) {
+	s.mu.Lock()
+	delete(s.jobs, id)
+	if n := len(s.order); n > 0 && s.order[n-1] == id {
+		s.order = s.order[:n-1]
+	}
+	s.mu.Unlock()
+}
+
+// logRecord appends rec to the WAL when one is configured. The returned
+// error is nil without a WAL (in-memory mode accepts everything).
+func (s *Server) logRecord(rec walRecord) error {
+	if s.wal == nil {
+		return nil
+	}
+	if err := s.wal.Append(rec); err != nil {
+		s.mWALErrors.Inc()
+		return err
+	}
+	return nil
 }
 
 // Job looks up a job by id.
@@ -225,6 +397,9 @@ func (s *Server) Job(id string) (*Job, bool) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	j, ok := s.jobs[id]
+	if ok {
+		j.touch(time.Now())
+	}
 	return j, ok
 }
 
@@ -244,41 +419,14 @@ func (s *Server) Jobs() []JobInfo {
 	return out
 }
 
-// runJob executes one job on a pool worker: parse, flow, verify, render —
-// all under the job deadline, traced into the job's event log and the
-// shared registry.
-func (s *Server) runJob(j *Job) {
-	start := time.Now()
-	j.setRunning(start)
-
-	tr := obs.New()
-	tr.SetRegistry(s.reg)
-	cancelRec := tr.SubscribeFunc(j.append)
-	defer cancelRec()
-
-	ctx, cancel := s.cfg.Budget.JobContext(context.Background())
-	defer cancel()
-
-	res, netlist, err := s.execute(ctx, j, tr)
-
-	dur := time.Since(start)
-	s.mJobSec.Observe(dur.Seconds())
-	if err != nil {
-		tr.Event("job_failed", map[string]any{"error": err.Error()})
-		s.mFailed.Inc()
-	} else {
-		tr.Event("job_done", map[string]any{"clk": res.Clk, "regs": res.Regs, "verify": res.Verify})
-		s.mDone.Inc()
-	}
-	j.finish(time.Now(), res, netlist, err)
-}
-
+// execute runs one attempt of the job pipeline: parse, flow, verify,
+// render — under ctx, traced into tr.
 func (s *Server) execute(ctx context.Context, j *Job, tr *obs.Tracer) (*JobResult, string, error) {
 	src, err := j.req.parse()
 	if err != nil {
 		// Unreachable in the HTTP path (Submit validated), kept for
 		// direct API users.
-		return nil, "", err
+		return nil, "", guard.WithClass(err, guard.ErrClassPermanent)
 	}
 	cfg := flows.Config{
 		Tracer: tr,
@@ -306,12 +454,17 @@ func (s *Server) execute(ctx context.Context, j *Job, tr *obs.Tracer) (*JobResul
 		case errors.Is(verr, seqverify.ErrTooLarge):
 			if serr := sim.RandomEquivalent(src, result.Net, result.PrefixK, s.cfg.SimCycles, sim.DefaultSpotCheck.CLI.Seed); serr != nil {
 				sp.End()
-				return nil, "", serr
+				// A reproducible mismatch between input and output is a
+				// property of the result, not of the environment.
+				return nil, "", guard.WithClass(serr, guard.ErrClassPermanent)
 			}
 			res.Verify = "simulated"
-		default:
+		case errors.Is(verr, guard.ErrBudget):
 			sp.End()
 			return nil, "", verr
+		default:
+			sp.End()
+			return nil, "", guard.WithClass(verr, guard.ErrClassPermanent)
 		}
 		sp.End()
 	}

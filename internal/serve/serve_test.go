@@ -36,7 +36,10 @@ func circuitBLIF(t *testing.T, name string) string {
 
 func startServer(t *testing.T, cfg Config) (*Server, *httptest.Server) {
 	t.Helper()
-	s := New(cfg)
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
 	ts := httptest.NewServer(s.Handler(false))
 	t.Cleanup(func() {
 		ts.Close()
@@ -269,7 +272,10 @@ func TestServeRejectsBadRequests(t *testing.T) {
 }
 
 func TestServeShedsWhenPoolClosed(t *testing.T) {
-	s := New(Config{Workers: 1})
+	s, err := New(Config{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
 	ts := httptest.NewServer(s.Handler(false))
 	defer ts.Close()
 	s.Close() // no workers left: TrySubmit must refuse, POST must shed
@@ -362,7 +368,7 @@ func TestLoadGenSmoke(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if rep.Schema != "bench_serve/v1" {
+	if rep.Schema != LoadSchema {
 		t.Fatalf("schema = %q", rep.Schema)
 	}
 	if rep.Submitted == 0 || rep.Completed == 0 {
