@@ -15,8 +15,14 @@ import (
 
 // maxRequestBytes bounds a submission body; netlists in this repo's weight
 // class are tens of kilobytes, so 8 MiB is generous without letting one
-// client exhaust memory.
-const maxRequestBytes = 8 << 20
+// client exhaust memory. maxNetlistBytes bounds the netlist field itself
+// (enforced in Request.validate, so direct API users are covered too): it
+// must stay far enough under walMaxLineBytes that a submitted record —
+// netlist JSON-escaped, worst case 6 bytes per input byte — always replays.
+const (
+	maxRequestBytes = 8 << 20
+	maxNetlistBytes = 8 << 20
+)
 
 // Handler mounts the service API:
 //

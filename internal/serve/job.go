@@ -44,6 +44,14 @@ type Job struct {
 	attempts int    // execution attempts consumed (retries + 1)
 	netlist  string // output BLIF, set on success
 
+	// accepted is closed once the creating submission is past enqueue (its
+	// record durable, or the map-only equivalent); until then the job may
+	// still be rolled back, so concurrent submissions of the same key must
+	// not ack it. acceptErr carries the enqueue failure when it was.
+	// Written before the close, read after the wait — the channel orders it.
+	accepted  chan struct{}
+	acceptErr error
+
 	// eventsBase preserves the event count of a recovered job whose
 	// per-event history was not persisted; Info reports base + live.
 	eventsBase int
@@ -91,13 +99,31 @@ type JobInfo struct {
 
 func newJob(id string, req Request, now time.Time) *Job {
 	return &Job{
-		ID:      id,
-		req:     req,
-		state:   StateQueued,
-		notify:  make(chan struct{}),
-		created: now,
-		touched: now,
+		ID:       id,
+		req:      req,
+		state:    StateQueued,
+		notify:   make(chan struct{}),
+		accepted: make(chan struct{}),
+		created:  now,
+		touched:  now,
 	}
+}
+
+// accept marks the creating submission as past enqueue: the job is durable
+// (or map-only) and safe for concurrent submissions to coalesce on.
+func (j *Job) accept() { close(j.accepted) }
+
+// reject records that the creating submission was rolled back (queue full,
+// WAL append failure) and releases any coalescing waiters with the error.
+func (j *Job) reject(err error) {
+	j.acceptErr = err
+	close(j.accepted)
+}
+
+// waitAccepted blocks until accept or reject, returning the reject error.
+func (j *Job) waitAccepted() error {
+	<-j.accepted
+	return j.acceptErr
 }
 
 // newRecoveredJob rebuilds a job from its persisted state. Queued and
@@ -105,11 +131,16 @@ func newJob(id string, req Request, now time.Time) *Job {
 // jobs come back complete and durable, so the result cache survives the
 // restart.
 func newRecoveredJob(sj snapJob, now time.Time) *Job {
+	// A recovered job's submission was durable by definition, so it is born
+	// accepted.
+	accepted := make(chan struct{})
+	close(accepted)
 	j := &Job{
 		ID:         sj.ID,
 		req:        sj.Req,
 		state:      sj.State,
 		notify:     make(chan struct{}),
+		accepted:   accepted,
 		created:    sj.Created,
 		started:    sj.Started,
 		finished:   sj.Finished,

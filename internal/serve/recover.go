@@ -41,6 +41,9 @@ func foldLog(snap []snapJob, recs []walRecord) (map[string]*snapJob, []string) {
 	var order []string
 	for i := range snap {
 		sj := snap[i]
+		if _, ok := states[sj.ID]; ok {
+			continue // defend against a duplicated snapshot entry
+		}
 		states[sj.ID] = &sj
 		order = append(order, sj.ID)
 	}
@@ -78,10 +81,26 @@ func foldLog(snap []snapJob, recs []walRecord) (map[string]*snapJob, []string) {
 				sj.Attempts, sj.Events = rec.Attempts, rec.Events
 			}
 		case "evicted":
-			delete(states, rec.ID)
+			if _, ok := states[rec.ID]; ok {
+				delete(states, rec.ID)
+				// Drop the id from order too: a later re-submission of the
+				// same request appends it afresh, and a stale entry would
+				// duplicate the job in the snapshot and in recovery.
+				order = removeID(order, rec.ID)
+			}
 		}
 	}
 	return states, order
+}
+
+// removeID deletes the first occurrence of id from order.
+func removeID(order []string, id string) []string {
+	for i, o := range order {
+		if o == id {
+			return append(order[:i], order[i+1:]...)
+		}
+	}
+	return order
 }
 
 // orderedSnap flattens folded states into snapshot order, skipping evicted

@@ -1,0 +1,147 @@
+package serve
+
+import (
+	"errors"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/guard"
+)
+
+// TestDropJobRemovesMidOrderEntry rolls back a submission that is no
+// longer the newest entry — the interleaving a concurrent Submit creates
+// between map insert and enqueue failure. The stale id must leave both the
+// map and the order slice, and Jobs() must not trip over it.
+func TestDropJobRemovesMidOrderEntry(t *testing.T) {
+	s, err := New(Config{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	now := time.Now()
+	s.mu.Lock()
+	for _, id := range []string{"aa", "bb", "cc"} {
+		s.jobs[id] = newJob(id, Request{Format: "blif", Flow: "resyn"}, now)
+		s.order = append(s.order, id)
+	}
+	s.mu.Unlock()
+
+	s.dropJob("aa") // not the last element
+
+	s.mu.Lock()
+	_, inMap := s.jobs["aa"]
+	order := append([]string(nil), s.order...)
+	s.mu.Unlock()
+	if inMap {
+		t.Fatal("dropJob left the job in the map")
+	}
+	if len(order) != 2 || order[0] != "bb" || order[1] != "cc" {
+		t.Fatalf("dropJob left a stale order entry: %v", order)
+	}
+	infos := s.Jobs()
+	if len(infos) != 2 {
+		t.Fatalf("Jobs() = %d entries, want 2", len(infos))
+	}
+}
+
+// TestJobsSkipsStaleOrderIDs asserts the defensive half of the dropJob
+// fix: even with a stale id in order (e.g. from an older data dir), Jobs()
+// skips it instead of panicking on a nil job.
+func TestJobsSkipsStaleOrderIDs(t *testing.T) {
+	s, err := New(Config{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	s.mu.Lock()
+	s.jobs["bb"] = newJob("bb", Request{Format: "blif", Flow: "resyn"}, time.Now())
+	s.order = append(s.order, "stale", "bb")
+	s.mu.Unlock()
+
+	infos := s.Jobs() // must not panic
+	if len(infos) != 1 || infos[0].ID != "bb" {
+		t.Fatalf("Jobs() = %+v, want just bb", infos)
+	}
+}
+
+// TestSubmitCoalescerObservesRollback covers the concurrent-submit window:
+// a second Submit of the same key finds the first submitter's job before
+// its enqueue is durable. If the first enqueue then fails and rolls the
+// job back, the second caller must get the unavailability error — not a
+// cached:true ack for a job that will never run.
+func TestSubmitCoalescerObservesRollback(t *testing.T) {
+	s, err := New(Config{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	req := Request{Netlist: circuitBLIF(t, "s27"), Flow: "script"}
+	id := req.normalized().Key()
+
+	// Stage the first submitter's state: job in the map, enqueue not yet
+	// settled (accepted channel open).
+	j := newJob(id, req.normalized(), time.Now())
+	s.mu.Lock()
+	s.jobs[id] = j
+	s.order = append(s.order, id)
+	s.mu.Unlock()
+
+	type result struct {
+		cached bool
+		err    error
+	}
+	done := make(chan result, 1)
+	go func() {
+		_, cached, err := s.Submit(req)
+		done <- result{cached, err}
+	}()
+	time.Sleep(50 * time.Millisecond) // let Submit reach the acceptance wait
+
+	// First submitter's enqueue fails: roll back and release waiters.
+	s.dropJob(id)
+	j.reject(errShed)
+
+	got := <-done
+	if got.cached {
+		t.Fatal("coalescer acked a rolled-back job as a cache hit")
+	}
+	if !errors.Is(got.err, errShed) {
+		t.Fatalf("coalescer error = %v, want errShed", got.err)
+	}
+
+	// The key is clean again: a fresh submission must run to completion.
+	j2, cached, err := s.Submit(req)
+	if err != nil || cached {
+		t.Fatalf("fresh submit after rollback: cached=%v err=%v", cached, err)
+	}
+	if info := waitTerminal(t, s, j2.ID); info.State != StateDone {
+		t.Fatalf("fresh submit did not finish: %+v", info)
+	}
+}
+
+// TestSubmitRejectsOversizedNetlist: a netlist past maxNetlistBytes must
+// be refused at validation (permanent, a 400 not a 503) so an acked WAL
+// record can never exceed the replay line cap and fail the next boot.
+func TestSubmitRejectsOversizedNetlist(t *testing.T) {
+	s, err := New(Config{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	req := Request{Netlist: strings.Repeat("x", maxNetlistBytes+1)}
+	_, _, err = s.Submit(req)
+	if err == nil {
+		t.Fatal("oversized netlist accepted")
+	}
+	if unavailable(err) {
+		t.Fatalf("oversized netlist must be a client error, not 503: %v", err)
+	}
+	if guard.Classify(err) != guard.ErrClassPermanent {
+		t.Fatalf("oversized netlist classified %v, want permanent", guard.Classify(err))
+	}
+}

@@ -101,6 +101,12 @@ func (r Request) validate() error {
 	if strings.TrimSpace(r.Netlist) == "" {
 		return guard.WithClass(errors.New("serve: empty netlist"), guard.ErrClassPermanent)
 	}
+	if len(r.Netlist) > maxNetlistBytes {
+		// Oversized inputs must be refused before the WAL sees them: a
+		// submitted record embeds the netlist, and a record past the replay
+		// line cap would append fine but fail recovery at the next boot.
+		return guard.WithClass(fmt.Errorf("serve: netlist %d bytes exceeds the %d-byte limit", len(r.Netlist), maxNetlistBytes), guard.ErrClassPermanent)
+	}
 	if !flows.KnownFlow(r.Flow) {
 		return guard.WithClass(fmt.Errorf("serve: unknown flow %q (have %v)", r.Flow, flows.FlowNames()), guard.ErrClassPermanent)
 	}
@@ -306,8 +312,42 @@ func (s *Server) Submit(req Request) (*Job, bool, error) {
 	id := req.Key()
 	now := time.Now()
 
-	s.mu.Lock()
-	if j, ok := s.jobs[id]; ok {
+	for {
+		s.mu.Lock()
+		j, ok := s.jobs[id]
+		if !ok {
+			j = newJob(id, req, now)
+			s.jobs[id] = j
+			s.order = append(s.order, id)
+			s.mu.Unlock()
+			if err := s.enqueue(j, walRecord{Type: "submitted", ID: id, Time: now, Req: &req}); err != nil {
+				s.dropJob(id)
+				j.reject(err)
+				return nil, false, err
+			}
+			j.accept()
+			s.mSubmitted.Inc()
+			s.evictOverflow()
+			return j, false, nil
+		}
+		s.mu.Unlock()
+
+		// A pre-existing entry only answers once its creating submission is
+		// past enqueue: before that point the job may still be rolled back
+		// (queue full, WAL append failure), and acking a doomed job would
+		// leave this caller polling an id that never runs.
+		if err := j.waitAccepted(); err != nil {
+			s.mShed.Inc()
+			return nil, false, err
+		}
+
+		s.mu.Lock()
+		if s.jobs[id] != j {
+			// Evicted (or replaced) between the wait and the relock: retry
+			// the lookup from scratch.
+			s.mu.Unlock()
+			continue
+		}
 		state, class := j.stateClass()
 		if state != StateFailed || class != guard.ErrClassTransient.String() {
 			j.touch(now)
@@ -332,18 +372,6 @@ func (s *Server) Submit(req Request) (*Job, bool, error) {
 		s.mRequeued.Inc()
 		return j, false, nil
 	}
-	j := newJob(id, req, now)
-	s.jobs[id] = j
-	s.order = append(s.order, id)
-	s.mu.Unlock()
-
-	if err := s.enqueue(j, walRecord{Type: "submitted", ID: id, Time: now, Req: &req}); err != nil {
-		s.dropJob(id)
-		return nil, false, err
-	}
-	s.mSubmitted.Inc()
-	s.evictOverflow()
-	return j, false, nil
 }
 
 // enqueue reserves a pool slot for j, durably logs rec, and only then
@@ -369,13 +397,13 @@ func (s *Server) enqueue(j *Job, rec walRecord) error {
 	return nil
 }
 
-// dropJob rolls a failed submission out of the map.
+// dropJob rolls a failed submission out of the map. The order slice is
+// scanned in full: a concurrent Submit may have appended behind this id, so
+// a last-element-only check would leave a stale entry that Jobs() trips
+// over forever.
 func (s *Server) dropJob(id string) {
 	s.mu.Lock()
-	delete(s.jobs, id)
-	if n := len(s.order); n > 0 && s.order[n-1] == id {
-		s.order = s.order[:n-1]
-	}
+	s.removeLocked(id)
 	s.mu.Unlock()
 }
 
@@ -406,10 +434,12 @@ func (s *Server) Job(id string) (*Job, bool) {
 // Jobs snapshots all jobs in submission order.
 func (s *Server) Jobs() []JobInfo {
 	s.mu.Lock()
-	ids := append([]string(nil), s.order...)
-	jobs := make([]*Job, 0, len(ids))
-	for _, id := range ids {
-		jobs = append(jobs, s.jobs[id])
+	jobs := make([]*Job, 0, len(s.order))
+	for _, id := range s.order {
+		// Skip ids whose job is gone: the map, not order, is authoritative.
+		if j, ok := s.jobs[id]; ok {
+			jobs = append(jobs, j)
+		}
 	}
 	s.mu.Unlock()
 	out := make([]JobInfo, len(jobs))

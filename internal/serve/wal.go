@@ -60,6 +60,13 @@ const (
 	walOldName   = "wal.log.old"
 	snapFileName = "snapshot.json"
 	snapSchema   = "resynd_snap/v1"
+
+	// walMaxLineBytes caps one record line on replay. It must dominate the
+	// largest record Append can produce, or an acked record would fail
+	// recovery at the next boot: submitted records embed the request
+	// netlist (≤ maxNetlistBytes, ≤ 6× after JSON escaping) and done
+	// records the output netlist, so 128 MiB leaves ample headroom.
+	walMaxLineBytes = 128 << 20
 )
 
 var errWALClosed = errors.New("serve: wal closed")
@@ -133,7 +140,13 @@ type wal struct {
 	synced  int64 // bytes covered by the last successful fsync
 	records int   // records appended to the current segment
 	cur     *syncBatch
-	closed  bool
+	// inflight is the batch the flusher is currently syncing. Whoever nils
+	// a batch out of cur/inflight under mu owns releasing its waiters —
+	// Close/Rotate/Crash take inflight over when their own sync already
+	// settled its bytes, so the flusher's late Sync on a closed or swapped
+	// file cannot spuriously fail appends that are in fact durable.
+	inflight *syncBatch
+	closed   bool
 
 	kick chan struct{} // wakes the flusher, capacity 1
 	stop chan struct{} // terminates the flusher
@@ -248,8 +261,11 @@ func (w *wal) Append(rec walRecord) error {
 	return b.err
 }
 
-// flusher performs the batched fsyncs: each pass takes the current batch,
-// optionally stalls (chaos), syncs, and releases every waiter in it.
+// flusher performs the batched fsyncs: each pass moves the current batch
+// to inflight, optionally stalls (chaos), syncs, and — if it still owns the
+// batch — releases every waiter in it. Close/Rotate/Crash may take the
+// inflight batch over mid-sync (their own fsync settles its bytes first),
+// in which case the flusher's result is discarded.
 func (w *wal) flusher() {
 	defer w.wg.Done()
 	for {
@@ -261,16 +277,11 @@ func (w *wal) flusher() {
 		w.mu.Lock()
 		b := w.cur
 		w.cur = nil
+		w.inflight = b
 		sz := w.size
 		f := w.f
-		closed := w.closed
 		w.mu.Unlock()
 		if b == nil {
-			continue
-		}
-		if closed {
-			b.err = errWALClosed
-			close(b.done)
 			continue
 		}
 		if w.chaos != nil {
@@ -280,12 +291,42 @@ func (w *wal) flusher() {
 		}
 		err := f.Sync()
 		w.mu.Lock()
+		if w.inflight != b {
+			// Close/Rotate/Crash released the batch with the outcome of
+			// their own sync; this Sync ran against a closed or swapped
+			// file and its result is meaningless.
+			w.mu.Unlock()
+			continue
+		}
+		w.inflight = nil
 		// Rotation swaps w.f; a sync of the old segment must not advance
 		// the new segment's watermark (Rotate synced the old one itself).
 		if err == nil && f == w.f && sz > w.synced && !w.closed {
 			w.synced = sz
 		}
 		w.mu.Unlock()
+		b.err = err
+		close(b.done)
+	}
+}
+
+// takeBatchesLocked detaches both the pending and the in-flight batch; the
+// caller (holding w.mu) owns releasing them with releaseBatches.
+func (w *wal) takeBatchesLocked() []*syncBatch {
+	var bs []*syncBatch
+	if w.cur != nil {
+		bs = append(bs, w.cur)
+		w.cur = nil
+	}
+	if w.inflight != nil {
+		bs = append(bs, w.inflight)
+		w.inflight = nil
+	}
+	return bs
+}
+
+func releaseBatches(bs []*syncBatch, err error) {
+	for _, b := range bs {
 		b.err = err
 		close(b.done)
 	}
@@ -305,7 +346,10 @@ func (w *wal) Records() int {
 	return w.records
 }
 
-// Close syncs outstanding bytes and closes the log. Idempotent.
+// Close syncs outstanding bytes and closes the log. Idempotent. Pending
+// and in-flight appends are released with the outcome of Close's own sync,
+// which covers every written byte — so an append whose fsync Close raced
+// is acknowledged durable, not failed.
 func (w *wal) Close() error {
 	w.mu.Lock()
 	if w.closed {
@@ -318,14 +362,10 @@ func (w *wal) Close() error {
 		w.synced = w.size
 	}
 	cerr := w.f.Close()
-	b := w.cur
-	w.cur = nil
+	bs := w.takeBatchesLocked()
 	w.mu.Unlock()
 	close(w.stop)
-	if b != nil {
-		b.err = err
-		close(b.done)
-	}
+	releaseBatches(bs, err)
 	w.wg.Wait()
 	if err != nil {
 		return err
@@ -346,14 +386,13 @@ func (w *wal) Crash() {
 	w.closed = true
 	w.f.Truncate(w.synced)
 	w.f.Close()
-	b := w.cur
-	w.cur = nil
+	bs := w.takeBatchesLocked()
 	w.mu.Unlock()
 	close(w.stop)
-	if b != nil {
-		b.err = errWALClosed
-		close(b.done)
-	}
+	// Both the pending and the in-flight batch fail: their bytes were past
+	// the last fsync and the truncate just discarded them, exactly as a
+	// real kill -9 would.
+	releaseBatches(bs, errWALClosed)
 	w.wg.Wait()
 }
 
@@ -371,10 +410,9 @@ func (w *wal) Rotate() error {
 		return err
 	}
 	w.synced = w.size
-	if b := w.cur; b != nil {
-		w.cur = nil
-		close(b.done) // b.err stays nil: their bytes are durable in the sealed segment
-	}
+	// nil err: pending and in-flight waiters' bytes are durable in the
+	// sealed segment.
+	releaseBatches(w.takeBatchesLocked(), nil)
 	oldPath := filepath.Join(w.dir, walOldName)
 	if err := os.Rename(filepath.Join(w.dir, walFileName), oldPath); err != nil {
 		return err
@@ -450,7 +488,7 @@ func readSegment(path string) (recs []walRecord, dropped int, err error) {
 	}
 	defer f.Close()
 	sc := bufio.NewScanner(f)
-	sc.Buffer(make([]byte, 0, 64<<10), 64<<20)
+	sc.Buffer(make([]byte, 0, 64<<10), walMaxLineBytes)
 	for sc.Scan() {
 		line := sc.Text()
 		if strings.TrimSpace(line) == "" {

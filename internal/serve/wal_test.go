@@ -270,3 +270,60 @@ func (c *stubChaos) WALSyncStall() time.Duration {
 
 func (c *stubChaos) JobFault(string) guard.Fault   { return guard.FaultNone }
 func (c *stubChaos) JobDelay(string) time.Duration { return 0 }
+
+// TestWALCloseReleasesInflightBatch closes the log while the flusher is
+// stalled mid-sync on an append's batch. Close fsyncs the append's bytes
+// itself, so the append must be acknowledged durable (nil error) rather
+// than failed when the flusher's late Sync hits the closed file.
+func TestWALCloseReleasesInflightBatch(t *testing.T) {
+	dir := t.TempDir()
+	chaos := &stubChaos{syncStall: 300 * time.Millisecond}
+	w, err := openWAL(dir, chaos)
+	if err != nil {
+		t.Fatal(err)
+	}
+	appendErr := make(chan error, 1)
+	go func() { appendErr <- w.Append(walRec("submitted", "a")) }()
+	time.Sleep(50 * time.Millisecond) // let the flusher take the batch and stall
+	if err := w.Close(); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+	if err := <-appendErr; err != nil {
+		t.Fatalf("append raced by Close must succeed (its bytes were fsynced by Close): %v", err)
+	}
+	_, recs, _, err := loadLog(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 1 || recs[0].ID != "a" {
+		t.Fatalf("acked record must replay: %+v", recs)
+	}
+}
+
+// TestFoldLogEvictThenResubmitNoDuplicate replays evict-then-resubmit of
+// the same id: the fold must emit the job exactly once, in its new
+// position, not once per stale order entry.
+func TestFoldLogEvictThenResubmitNoDuplicate(t *testing.T) {
+	req := Request{Netlist: "x", Format: "blif", Flow: "resyn"}
+	recs := []walRecord{
+		{Type: "submitted", ID: "a", Time: time.Unix(1, 0).UTC(), Req: &req},
+		{Type: "submitted", ID: "b", Time: time.Unix(2, 0).UTC(), Req: &req},
+		{Type: "done", ID: "a", Time: time.Unix(3, 0).UTC()},
+		{Type: "evicted", ID: "a", Time: time.Unix(4, 0).UTC(), Reason: "ttl"},
+		{Type: "submitted", ID: "a", Time: time.Unix(5, 0).UTC(), Req: &req},
+	}
+	states, order := foldLog(nil, recs)
+	if len(states) != 2 {
+		t.Fatalf("states = %d, want 2", len(states))
+	}
+	snap := orderedSnap(states, order)
+	if len(snap) != 2 {
+		t.Fatalf("snapshot has %d entries, want 2 (duplicate from stale order?): %+v", len(snap), snap)
+	}
+	if snap[0].ID != "b" || snap[1].ID != "a" {
+		t.Fatalf("resubmitted job must take its new position: got [%s %s]", snap[0].ID, snap[1].ID)
+	}
+	if snap[1].State != StateQueued {
+		t.Fatalf("resubmitted job state = %s, want %s", snap[1].State, StateQueued)
+	}
+}
