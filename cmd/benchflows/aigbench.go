@@ -1,0 +1,281 @@
+package main
+
+// The -aig-bench mode: substrate comparison for the technology-independent
+// restructuring step. The SOP substrate's two-level passes (dominated by
+// eliminate's cover substitution) grow superlinearly with circuit size;
+// the AIG substrate (convert + strash + balance) stays near-linear. This
+// mode documents both the raw walls and what that difference means under a
+// guard deadline: which substrate's restructuring pass still commits on
+// the s38417-class suite.
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/aig"
+	"repro/internal/algebraic"
+	"repro/internal/bench"
+	"repro/internal/flows"
+	"repro/internal/genlib"
+	"repro/internal/guard"
+	"repro/internal/network"
+	"repro/internal/obs"
+	"repro/internal/parexec"
+)
+
+// aigStats describes the structurally hashed AIG built from the source
+// circuit by the -substrate=aig restructuring (convert, sweep, balance),
+// plus the k-feasible-cut LUT covering depths as a mapper-independent
+// quality signal.
+type aigStats struct {
+	Nodes  int `json:"nodes"`  // AND vertices after sweep + balance
+	Levels int `json:"levels"` // AND depth after balancing
+	// StrashHits counts And() calls answered from the structural hash
+	// table across both the conversion and the balancing rebuild;
+	// StrashHitRate is hits over all And() constructions (hits + inserts).
+	StrashHits    int64   `json:"strash_hits"`
+	StrashHitRate float64 `json:"strash_hit_rate"`
+	BuildMS       float64 `json:"build_ms"`
+	Lut4          int     `json:"lut4_luts,omitempty"`
+	Lut4Depth     int     `json:"lut4_depth,omitempty"`
+	Lut6          int     `json:"lut6_luts,omitempty"`
+	Lut6Depth     int     `json:"lut6_depth,omitempty"`
+	Error         string  `json:"error,omitempty"`
+}
+
+// aigFlowReport is one script.delay run on one substrate. SpanMS carries
+// the per-pass walls recovered from the trace stream, so the substrate
+// step ("algebraic.optimize" vs "aig.restructure") and the shared mapper
+// can be compared individually.
+type aigFlowReport struct {
+	Regs   int                `json:"regs"`
+	Clk    float64            `json:"clk"`
+	Area   float64            `json:"area"`
+	Note   string             `json:"note,omitempty"`
+	WallMS float64            `json:"wall_ms"`
+	SpanMS map[string]float64 `json:"span_ms"`
+	Error  string             `json:"error,omitempty"`
+}
+
+// aigGuardReport is one restructuring pass run transactionally under the
+// -aig-budget deadline: Committed false means the pass was rolled back —
+// on this suite, always because the deadline fired (the note says so).
+type aigGuardReport struct {
+	Committed bool    `json:"committed"`
+	WallMS    float64 `json:"wall_ms"`
+	Note      string  `json:"note,omitempty"`
+}
+
+type aigCircuitReport struct {
+	Circuit string                   `json:"circuit"`
+	Gates   int                      `json:"gates"`
+	Latches int                      `json:"latches"`
+	Aig     aigStats                 `json:"aig"`
+	Flows   map[string]aigFlowReport `json:"flows"` // "sop" | "aig"
+	// OptSpeedup is the SOP optimize wall over the AIG restructure wall
+	// inside the script flows — the substrate step alone, excluding the
+	// shared mapper.
+	OptSpeedup float64 `json:"opt_speedup,omitempty"`
+	// FlowSpeedup is the end-to-end script.delay wall ratio (SOP / AIG).
+	FlowSpeedup float64        `json:"flow_speedup,omitempty"`
+	GuardSOP    aigGuardReport `json:"guard_sop"`
+	GuardAIG    aigGuardReport `json:"guard_aig"`
+	Skipped     bool           `json:"skipped,omitempty"`
+	Error       string         `json:"error,omitempty"`
+}
+
+type aigBenchReport struct {
+	Schema   string             `json:"schema"`
+	BudgetMS float64            `json:"guard_budget_ms"`
+	Circuits []aigCircuitReport `json:"circuits"`
+}
+
+// runAigBench compares the SOP and AIG substrates on every circuit and
+// writes BENCH_aig.json.
+func runAigBench(suite []bench.Circuit, lib *genlib.Library, budget guard.Budget, guardPass time.Duration, workers int, skipLarge bool, out string) {
+	reports, err := parexec.Map(context.Background(), workers, suite,
+		func(_ context.Context, _ int, c bench.Circuit) (aigCircuitReport, error) {
+			return aigBenchCircuit(c, lib, budget, guardPass, skipLarge), nil
+		})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchflows:", err)
+		os.Exit(1)
+	}
+	rep := aigBenchReport{
+		Schema:   "bench_aig/v1",
+		BudgetMS: float64(guardPass) / float64(time.Millisecond),
+	}
+	for _, cr := range reports {
+		rep.Circuits = append(rep.Circuits, cr)
+		status := "ok"
+		switch {
+		case cr.Skipped:
+			status = "skipped"
+		case cr.Error != "":
+			status = "FAILED: " + cr.Error
+		default:
+			verdict := func(r aigGuardReport) string {
+				if r.Committed {
+					return "ok"
+				}
+				return "DNF"
+			}
+			status = fmt.Sprintf("aig %d ands L%d hits %.2f%%  opt %.1f/%.1fms (%.0fx)  guard sop=%s aig=%s",
+				cr.Aig.Nodes, cr.Aig.Levels, 100*cr.Aig.StrashHitRate,
+				leafSpanMS(cr.Flows[flows.SubstrateSOP].SpanMS, "algebraic.optimize"),
+				leafSpanMS(cr.Flows[flows.SubstrateAIG].SpanMS, "aig.restructure"),
+				cr.OptSpeedup, verdict(cr.GuardSOP), verdict(cr.GuardAIG))
+		}
+		fmt.Printf("%-10s %s\n", cr.Circuit, status)
+	}
+	f, err := os.Create(out)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchflows:", err)
+		os.Exit(1)
+	}
+	defer f.Close()
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(rep); err != nil {
+		fmt.Fprintln(os.Stderr, "benchflows:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("wrote %s (%d circuits)\n", out, len(rep.Circuits))
+}
+
+func aigBenchCircuit(c bench.Circuit, lib *genlib.Library, budget guard.Budget, guardPass time.Duration, skipLarge bool) aigCircuitReport {
+	cr := aigCircuitReport{Circuit: c.Name, Flows: map[string]aigFlowReport{}}
+	src, err := c.Build()
+	if err != nil {
+		cr.Error = err.Error()
+		return cr
+	}
+	cr.Gates = src.NumLogicNodes()
+	cr.Latches = len(src.Latches)
+	if skipLarge && cr.Gates > 1000 {
+		cr.Skipped = true
+		return cr
+	}
+	cr.Aig = buildAigStats(src)
+	for _, sub := range []string{flows.SubstrateSOP, flows.SubstrateAIG} {
+		cr.Flows[sub] = aigFlowRun(src, lib, budget, sub)
+	}
+	cr.GuardSOP = guardedRestructure(src, "algebraic.optimize", guardPass,
+		func(ctx context.Context, work *network.Network) (*network.Network, int, error) {
+			if err := algebraic.OptimizeDelayCtx(ctx, work, nil); err != nil {
+				return nil, 0, err
+			}
+			return work, 0, nil
+		})
+	cr.GuardAIG = guardedRestructure(src, "aig.restructure", guardPass,
+		func(_ context.Context, work *network.Network) (*network.Network, int, error) {
+			out, rerr := flows.RestructureAIG(work, nil)
+			return out, 0, rerr
+		})
+	sopOpt := leafSpanMS(cr.Flows[flows.SubstrateSOP].SpanMS, "algebraic.optimize")
+	aigRes := leafSpanMS(cr.Flows[flows.SubstrateAIG].SpanMS, "aig.restructure")
+	if sopOpt > 0 && aigRes > 0 {
+		cr.OptSpeedup = sopOpt / aigRes
+	}
+	sopWall, aigWall := cr.Flows[flows.SubstrateSOP], cr.Flows[flows.SubstrateAIG]
+	if sopWall.Error == "" && aigWall.Error == "" && sopWall.WallMS > 0 && aigWall.WallMS > 0 {
+		cr.FlowSpeedup = sopWall.WallMS / aigWall.WallMS
+	}
+	return cr
+}
+
+// buildAigStats measures the AIG construction itself: conversion, sweep,
+// balance and the LUT coverings, without any guard machinery.
+func buildAigStats(src *network.Network) aigStats {
+	st := aigStats{}
+	start := time.Now()
+	g, err := aig.FromNetwork(src)
+	if err != nil {
+		st.Error = err.Error()
+		return st
+	}
+	g.Sweep()
+	bal := g.Balance()
+	st.BuildMS = sinceMS(start)
+	st.Nodes = bal.NumAnds()
+	st.Levels = int(bal.Depth())
+	st.StrashHits = g.StrashHits() + bal.StrashHits()
+	if attempts := st.StrashHits + int64(g.NumAnds()) + int64(bal.NumAnds()); attempts > 0 {
+		st.StrashHitRate = float64(st.StrashHits) / float64(attempts)
+	}
+	if m, merr := bal.MapForDelay(4); merr == nil {
+		st.Lut4, st.Lut4Depth = m.NumLUTs(), int(m.Depth)
+	}
+	if m, merr := bal.MapForDelay(6); merr == nil {
+		st.Lut6, st.Lut6Depth = m.NumLUTs(), int(m.Depth)
+	}
+	return st
+}
+
+// aigFlowRun executes the script.delay flow on one substrate with a traced
+// JSONL stream and recovers the per-pass walls from it (the same honest
+// -stats-json consumption the default mode uses).
+func aigFlowRun(src *network.Network, lib *genlib.Library, budget guard.Budget, substrate string) aigFlowReport {
+	fr := aigFlowReport{SpanMS: map[string]float64{}}
+	var buf bytes.Buffer
+	tr := obs.NewJSON(&buf)
+	start := time.Now()
+	r, err := flows.RunFlow(context.Background(), "script", src, lib,
+		flows.Config{Tracer: tr, Budget: budget, Substrate: substrate})
+	fr.WallMS = sinceMS(start)
+	if err != nil {
+		fr.Error = err.Error()
+		return fr
+	}
+	fr.Regs, fr.Clk, fr.Area, fr.Note = r.Regs, r.Clk, r.Area, r.Note
+	evs, _, err := obs.ReadEvents(&buf)
+	if err != nil {
+		fr.Error = "trace stream unreadable: " + err.Error()
+		return fr
+	}
+	for _, e := range evs {
+		if e.Ev == "span_end" {
+			fr.SpanMS[e.Span] += e.DurMs
+		}
+	}
+	return fr
+}
+
+// guardedRestructure runs one substrate's restructuring pass transactionally
+// under the -aig-budget deadline. The wall includes the transactional
+// clone and the post-pass smoke check, exactly as the pass pays them
+// inside a real flow. A deadline firing mid-pass is honoured at the pass's
+// next cancellation point, so the wall of a DNF row can exceed the budget;
+// Committed is the verdict.
+func guardedRestructure(src *network.Network, pass string, deadline time.Duration, fn guard.PassFunc) aigGuardReport {
+	start := time.Now()
+	_, rep := guard.Tx(context.Background(), pass, src,
+		guard.TxOptions{Budget: guard.Budget{Pass: deadline}}, fn)
+	gr := aigGuardReport{Committed: rep.Committed, WallMS: sinceMS(start)}
+	if !rep.Committed {
+		gr.Note = rep.Note
+	}
+	return gr
+}
+
+func sinceMS(start time.Time) float64 {
+	return float64(time.Since(start)) / float64(time.Millisecond)
+}
+
+// leafSpanMS sums the wall of every span whose path-qualified name ends in
+// the given leaf (span names in the trace stream are slash-qualified by
+// their ancestry, e.g. "flow.script_delay/guard.x/x").
+func leafSpanMS(spans map[string]float64, leaf string) float64 {
+	total := 0.0
+	for name, ms := range spans {
+		if name == leaf || strings.HasSuffix(name, "/"+leaf) {
+			total += ms
+		}
+	}
+	return total
+}

@@ -21,6 +21,15 @@
 // simulator and once on the bit-parallel engine (internal/bitsim), and
 // BENCH_sim.json records vectors/sec for both plus the speedup ratio.
 //
+// With -aig-bench the command compares the two technology-independent
+// substrates (internal/flows Config.Substrate): every selected circuit —
+// by default Table I plus the s38417-class Large suite — records the AIG
+// build statistics (nodes, strash hit rate, levels, LUT depths), runs the
+// script.delay flow once per substrate with per-pass span walls, and runs
+// the restructuring pass of both substrates under the -aig-budget guard
+// deadline to document which substrate still commits at scale. The result
+// is BENCH_aig.json (schema bench_aig/v1).
+//
 // Usage:
 //
 //	benchflows [-out BENCH_flows.json] [-circuits ex2,bbtas,...] [-skip-large]
@@ -28,6 +37,7 @@
 //	           [-partition on|off] [-order topo|positional] [-partition-nodes N] [-reorder]
 //	           [-reach-bench] [-reach-out BENCH_reach.json]
 //	           [-sim-bench] [-sim-out BENCH_sim.json] [-sim-cycles N]
+//	           [-aig-bench] [-aig-out BENCH_aig.json] [-aig-budget 1s]
 package main
 
 import (
@@ -96,6 +106,9 @@ func main() {
 	simBench := flag.Bool("sim-bench", false, "benchmark scalar vs bit-parallel random simulation instead of the flows")
 	simOut := flag.String("sim-out", "BENCH_sim.json", "output JSON file for -sim-bench")
 	simCycles := flag.Int("sim-cycles", 256, "cycles per simulation sweep for -sim-bench")
+	aigBench := flag.Bool("aig-bench", false, "benchmark the SOP vs AIG substrate instead of the flows")
+	aigOut := flag.String("aig-out", "BENCH_aig.json", "output JSON file for -aig-bench")
+	aigBudget := flag.Duration("aig-budget", time.Second, "guard pass deadline for the -aig-bench restructuring comparison (0 = unbounded)")
 	metricsOut := flag.String("metrics", "", "write a Prometheus text dump of run metrics to this file")
 	version := flag.Bool("version", false, "print version and exit")
 	flag.Parse()
@@ -111,6 +124,11 @@ func main() {
 	}
 
 	suite := bench.TableI()
+	if *aigBench && *circuitsFlag == "" {
+		// The substrate comparison is about scale: include the s38417-class
+		// suite the SOP substrate was built to avoid.
+		suite = append(suite, bench.Large()...)
+	}
 	if *circuitsFlag != "" {
 		var filtered []bench.Circuit
 		for _, name := range strings.Split(*circuitsFlag, ",") {
@@ -131,6 +149,10 @@ func main() {
 	}
 	if *simBench {
 		runSimBench(suite, *workers, *skipLarge, *simCycles, *simOut)
+		return
+	}
+	if *aigBench {
+		runAigBench(suite, genlib.Lib2(), budget, *aigBudget, *workers, *skipLarge, *aigOut)
 		return
 	}
 

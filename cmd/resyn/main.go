@@ -5,7 +5,7 @@
 // Usage:
 //
 //	resyn -in circuit.blif [-kiss] [-flow script|retime|resyn|core] [-out out.blif] [-verify]
-//	      [-timeout 30s] [-pass-timeout 5s] [-trace] [-stats-json events.jsonl]
+//	      [-substrate sop|aig] [-timeout 30s] [-pass-timeout 5s] [-trace] [-stats-json events.jsonl]
 //	      [-partition on|off] [-order topo|positional] [-partition-nodes N] [-reorder]
 package main
 
@@ -33,6 +33,7 @@ func main() {
 	in := flag.String("in", "", "input file (BLIF, or KISS2 with -kiss)")
 	isKiss := flag.Bool("kiss", false, "input is a KISS2 FSM (binary-encoded)")
 	flow := flag.String("flow", "resyn", "flow: script | retime | resyn | core")
+	substrate := flag.String("substrate", "sop", "technology-independent substrate: sop | aig")
 	out := flag.String("out", "", "output BLIF file (default: stdout summary only)")
 	verify := flag.Bool("verify", true, "verify the result against the input")
 	trace := flag.Bool("trace", false, "print the span tree with per-pass wall time and counters")
@@ -103,9 +104,10 @@ func main() {
 	lib := genlib.Lib2()
 	ctx := context.Background()
 	cfg := flows.Config{
-		Tracer: tr,
-		Budget: guard.Budget{Flow: *timeout, Pass: *passTimeout},
-		Reach:  reachLim,
+		Tracer:    tr,
+		Budget:    guard.Budget{Flow: *timeout, Pass: *passTimeout},
+		Reach:     reachLim,
+		Substrate: *substrate,
 	}
 	result, err := flows.RunFlow(ctx, *flow, src, lib, cfg)
 	if err != nil {

@@ -12,7 +12,7 @@
 //
 //	tablegen [-circuits ex2,bbtas,...] [-verify] [-skip-large] [-workers N]
 //	         [-times] [-timeout 60s] [-pass-timeout 10s] [-trace]
-//	         [-stats-json events.jsonl]
+//	         [-substrate sop|aig] [-stats-json events.jsonl]
 //	         [-partition on|off] [-order topo|positional] [-partition-nodes N] [-reorder]
 package main
 
@@ -40,6 +40,7 @@ func main() {
 	statsJSON := flag.String("stats-json", "", "write the JSON-lines trace event stream to this file")
 	timeout := flag.Duration("timeout", 0, "wall-clock budget per flow; a circuit exceeding it reports a typed error instead of stalling the table (0 = unbounded)")
 	passTimeout := flag.Duration("pass-timeout", 0, "wall-clock budget per pass within a flow (0 = unbounded)")
+	substrate := flag.String("substrate", "sop", "technology-independent substrate for the flows: sop | aig")
 	partition := flag.String("partition", "on", "partitioned transition relations for state enumeration: on | off")
 	order := flag.String("order", "topo", "BDD variable order: topo | positional")
 	partitionNodes := flag.Int("partition-nodes", 0, "cluster node-size threshold for -partition on (0 = default)")
@@ -64,6 +65,7 @@ func main() {
 		ShowTimes: *times,
 		Budget:    guard.Budget{Flow: *timeout, Pass: *passTimeout},
 		Reach:     reachLim,
+		Substrate: *substrate,
 	}
 	if *circuitsFlag != "" {
 		opt.Circuits = strings.Split(*circuitsFlag, ",")

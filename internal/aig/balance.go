@@ -1,0 +1,73 @@
+package aig
+
+// Balance rebuilds the graph with depth-optimal AND trees: every maximal
+// multi-input conjunction (a tree of single-fanout, positive-phase AND
+// edges) is re-associated so its shallowest leaves combine first. The
+// rebuild runs through And, so strash sharing and the rewrite rules apply
+// again across the restructured trees; combined with the exact levels this
+// is the AIG counterpart of the SOP path's depth-driven resynthesis.
+//
+// The receiver is unchanged; Balance returns a new graph with the same
+// PI/PO/latch interface. Node numbering in the result is deterministic.
+func (g *Graph) Balance() *Graph {
+	ng := New(g.Name)
+	// old2new[id] is the positive-phase literal of old node id in ng.
+	old2new := make([]Lit, len(g.nodes))
+	built := make([]bool, len(g.nodes))
+	old2new[0], built[0] = False, true
+	for i, id := range g.pis {
+		old2new[id], built[id] = ng.AddPI(g.piNames[i]), true
+	}
+	for _, la := range g.latches {
+		old2new[la.Out], built[la.Out] = ng.AddLatch(la.Name, la.Init), true
+	}
+
+	// Fanout counts decide tree boundaries: a shared conjunction stays a
+	// node of its own so the sharing survives.
+	refs := make([]int32, len(g.nodes))
+	for id := int32(1); id < int32(len(g.nodes)); id++ {
+		if g.IsAnd(id) {
+			refs[g.nodes[id].f0.Node()]++
+			refs[g.nodes[id].f1.Node()]++
+		}
+	}
+	for _, o := range g.outputs() {
+		refs[o.Node()]++
+	}
+
+	var build func(id int32) Lit
+	// leavesOf collects the conjunction leaves of the AND tree rooted at id,
+	// absorbing positive-phase single-fanout AND fanins into the product.
+	leavesOf := func(id int32) []Lit {
+		var leaves []Lit
+		stack := []Lit{g.nodes[id].f0, g.nodes[id].f1}
+		for len(stack) > 0 {
+			l := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			n := l.Node()
+			if !l.Compl() && g.IsAnd(n) && refs[n] == 1 {
+				stack = append(stack, g.nodes[n].f0, g.nodes[n].f1)
+				continue
+			}
+			leaves = append(leaves, build(n).NotIf(l.Compl()))
+		}
+		return leaves
+	}
+	build = func(id int32) Lit {
+		if built[id] {
+			return old2new[id]
+		}
+		old2new[id] = ng.reduce(leavesOf(id), ng.And, True)
+		built[id] = true
+		return old2new[id]
+	}
+	relit := func(l Lit) Lit { return build(l.Node()).NotIf(l.Compl()) }
+
+	for _, po := range g.pos {
+		ng.AddPO(po.Name, relit(po.Lit))
+	}
+	for i, la := range g.latches {
+		ng.SetLatchNext(i, relit(la.Next))
+	}
+	return ng
+}

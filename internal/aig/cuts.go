@@ -1,0 +1,393 @@
+package aig
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/logic"
+	"repro/internal/network"
+)
+
+// This file implements k-feasible cut enumeration and the delay-oriented
+// LUT mapper. A cut of node n is a set of ≤ k nodes whose removal
+// disconnects n from the combinational inputs; the mapper picks, per
+// mapped node, the cut with the earliest arrival time (depth in LUT
+// levels), then covers the graph backward from the outputs. Truth tables
+// ride along as uint64 words (k ≤ 6), so the final LUT functions come out
+// of the enumeration for free — Mapping.ToNetwork lowers them to SOP
+// covers for verification against the original graph.
+
+// MaxLutK is the largest supported LUT input count (one 64-bit truth
+// table word).
+const MaxLutK = 6
+
+// maxCutsPerNode bounds the cut set kept per node; cuts are ranked by
+// (arrival, size), so pruning keeps the delay-optimal front.
+const maxCutsPerNode = 8
+
+// varMask[i] is the truth table of variable i of a 6-input function.
+var varMask = [MaxLutK]uint64{
+	0xAAAAAAAAAAAAAAAA,
+	0xCCCCCCCCCCCCCCCC,
+	0xF0F0F0F0F0F0F0F0,
+	0xFF00FF00FF00FF00,
+	0xFFFF0000FFFF0000,
+	0xFFFFFFFF00000000,
+}
+
+// cut is one k-feasible cut: sorted leaf node ids, the function of the
+// root over the leaves, and the arrival time of the root through this cut.
+type cut struct {
+	leaves []int32
+	tt     uint64
+	arr    int32
+}
+
+// LUT is one mapped lookup table: Root computes TT over Leaves (sorted
+// node ids; variable i of TT is Leaves[i]).
+type LUT struct {
+	Root   int32
+	Leaves []int32
+	TT     uint64
+}
+
+// Mapping is the result of LUT covering: the chosen LUTs in ascending
+// root order, the LUT-level depth, and the input size class.
+type Mapping struct {
+	K     int
+	LUTs  []LUT
+	Depth int32
+
+	graph *Graph
+}
+
+// NumLUTs returns the number of lookup tables in the cover.
+func (m *Mapping) NumLUTs() int { return len(m.LUTs) }
+
+// MapForDelay covers the graph with k-input LUTs minimizing depth: cut
+// enumeration with exact arrival times forward, then a backward covering
+// pass that materializes the best cut of every needed node. k must be in
+// 2..MaxLutK.
+func (g *Graph) MapForDelay(k int) (*Mapping, error) {
+	if k < 2 || k > MaxLutK {
+		return nil, fmt.Errorf("aig: MapForDelay k=%d out of range 2..%d", k, MaxLutK)
+	}
+	n := len(g.nodes)
+	arrival := make([]int32, n)
+	cutsOf := make([][]cut, n)
+	trivial := func(id int32, arr int32) cut {
+		return cut{leaves: []int32{id}, tt: varMask[0], arr: arr}
+	}
+	for id := int32(0); id < int32(n); id++ {
+		if !g.IsAnd(id) {
+			// Constant and CI nodes: only the trivial cut. (The constant's
+			// cut is never useful — rewrite rules keep constants out of
+			// fanins — but it keeps the indexing uniform.)
+			cutsOf[id] = []cut{trivial(id, 0)}
+			continue
+		}
+		f0, f1 := g.nodes[id].f0, g.nodes[id].f1
+		var cands []cut
+		for _, c0 := range cutsOf[f0.Node()] {
+			for _, c1 := range cutsOf[f1.Node()] {
+				leaves, ok := mergeLeaves(c0.leaves, c1.leaves, k)
+				if !ok {
+					continue
+				}
+				t0 := expandTT(c0.tt, c0.leaves, leaves)
+				if f0.Compl() {
+					t0 = ^t0
+				}
+				t1 := expandTT(c1.tt, c1.leaves, leaves)
+				if f1.Compl() {
+					t1 = ^t1
+				}
+				arr := int32(0)
+				for _, l := range leaves {
+					if a := arrival[l]; a >= arr {
+						arr = a
+					}
+				}
+				cands = append(cands, cut{leaves: leaves, tt: t0 & t1, arr: arr + 1})
+			}
+		}
+		cands = pruneCuts(cands)
+		arrival[id] = cands[0].arr
+		// The trivial cut lets fanouts start a fresh LUT at this node.
+		cutsOf[id] = append(cands, trivial(id, arrival[id]))
+	}
+
+	m := &Mapping{K: k, graph: g}
+	need := make([]bool, n)
+	for _, o := range g.outputs() {
+		if g.IsAnd(o.Node()) {
+			need[o.Node()] = true
+		}
+		if a := arrival[o.Node()]; a > m.Depth {
+			m.Depth = a
+		}
+	}
+	// Backward covering: descending ids visit roots before their cut
+	// leaves, so one sweep suffices.
+	for id := int32(n) - 1; id > 0; id-- {
+		if !need[id] || !g.IsAnd(id) {
+			continue
+		}
+		best := cutsOf[id][0]
+		m.LUTs = append(m.LUTs, LUT{Root: id, Leaves: best.leaves, TT: best.tt})
+		for _, l := range best.leaves {
+			if g.IsAnd(l) {
+				need[l] = true
+			}
+		}
+	}
+	sort.Slice(m.LUTs, func(i, j int) bool { return m.LUTs[i].Root < m.LUTs[j].Root })
+	return m, nil
+}
+
+// mergeLeaves unions two sorted leaf sets, failing when the union exceeds k.
+func mergeLeaves(a, b []int32, k int) ([]int32, bool) {
+	out := make([]int32, 0, k)
+	i, j := 0, 0
+	for i < len(a) || j < len(b) {
+		var v int32
+		switch {
+		case j == len(b) || (i < len(a) && a[i] < b[j]):
+			v = a[i]
+			i++
+		case i == len(a) || b[j] < a[i]:
+			v = b[j]
+			j++
+		default:
+			v = a[i]
+			i++
+			j++
+		}
+		if len(out) == k {
+			return nil, false
+		}
+		out = append(out, v)
+	}
+	return out, true
+}
+
+// expandTT re-expresses a truth table over leaf set from as a table over
+// superset to (both sorted). Variables of to absent in from are don't-care.
+func expandTT(tt uint64, from, to []int32) uint64 {
+	if len(from) == len(to) {
+		return tt
+	}
+	// pos[i] is the from-variable index of to-variable i, or -1.
+	var out uint64
+	nTo := len(to)
+	pos := make([]int, nTo)
+	j := 0
+	for i, l := range to {
+		if j < len(from) && from[j] == l {
+			pos[i] = j
+			j++
+		} else {
+			pos[i] = -1
+		}
+	}
+	for m := 0; m < 1<<nTo; m++ {
+		src := 0
+		for i := 0; i < nTo; i++ {
+			if pos[i] >= 0 && m&(1<<i) != 0 {
+				src |= 1 << pos[i]
+			}
+		}
+		out |= (tt >> src & 1) << m
+	}
+	return out
+}
+
+// pruneCuts ranks candidates by (arrival, size), removes duplicates and
+// dominated cuts (a superset leaf set with no better arrival), and keeps
+// the best maxCutsPerNode.
+func pruneCuts(cands []cut) []cut {
+	sort.SliceStable(cands, func(i, j int) bool {
+		if cands[i].arr != cands[j].arr {
+			return cands[i].arr < cands[j].arr
+		}
+		if len(cands[i].leaves) != len(cands[j].leaves) {
+			return len(cands[i].leaves) < len(cands[j].leaves)
+		}
+		return lessLeaves(cands[i].leaves, cands[j].leaves)
+	})
+	kept := cands[:0]
+	for _, c := range cands {
+		dominated := false
+		for _, k := range kept {
+			if k.arr <= c.arr && subsetLeaves(k.leaves, c.leaves) {
+				dominated = true
+				break
+			}
+		}
+		if !dominated {
+			kept = append(kept, c)
+			if len(kept) == maxCutsPerNode {
+				break
+			}
+		}
+	}
+	return kept
+}
+
+func lessLeaves(a, b []int32) bool {
+	for i := range a {
+		if i >= len(b) {
+			return false
+		}
+		if a[i] != b[i] {
+			return a[i] < b[i]
+		}
+	}
+	return len(a) < len(b)
+}
+
+// subsetLeaves reports a ⊆ b for sorted slices.
+func subsetLeaves(a, b []int32) bool {
+	j := 0
+	for _, v := range a {
+		for j < len(b) && b[j] < v {
+			j++
+		}
+		if j == len(b) || b[j] != v {
+			return false
+		}
+		j++
+	}
+	return true
+}
+
+// ToNetwork lowers the mapping to a Boolean network: one SOP node per LUT
+// (cover via ISOP extraction from the truth table), preserving the graph's
+// PI/PO/latch interface. The result is the verification surface of the LUT
+// backend — bitsim can compare it against the original network.
+func (m *Mapping) ToNetwork() (*network.Network, error) {
+	g := m.graph
+	n := network.New(g.Name)
+	nodeOf := make([]*network.Node, len(g.nodes))
+	for i, id := range g.pis {
+		nodeOf[id] = n.AddPI(g.piNames[i])
+	}
+	lats := make([]*network.Latch, len(g.latches))
+	for i, la := range g.latches {
+		lats[i] = n.AddLatch(la.Name, nil, la.Init)
+		nodeOf[la.Out] = lats[i].Output
+	}
+	for _, lut := range m.LUTs {
+		fanins := make([]*network.Node, len(lut.Leaves))
+		for i, l := range lut.Leaves {
+			if nodeOf[l] == nil {
+				return nil, fmt.Errorf("aig: mapping leaf %d of LUT %d not built", l, lut.Root)
+			}
+			fanins[i] = nodeOf[l]
+		}
+		cov := ttToCover(lut.TT, len(lut.Leaves))
+		nodeOf[lut.Root] = n.AddLogic(fmt.Sprintf("l%d", lut.Root), fanins, cov)
+	}
+	inv := make(map[Lit]*network.Node)
+	driver := func(l Lit) (*network.Node, error) {
+		if l.Node() == 0 {
+			if d, ok := inv[l]; ok {
+				return d, nil
+			}
+			d := n.AddConst(fmt.Sprintf("const%d", l&1), l == True)
+			inv[l] = d
+			return d, nil
+		}
+		base := nodeOf[l.Node()]
+		if base == nil {
+			return nil, fmt.Errorf("aig: mapping output node %d not covered", l.Node())
+		}
+		if !l.Compl() {
+			return base, nil
+		}
+		if d, ok := inv[l]; ok {
+			return d, nil
+		}
+		d := n.AddLogic(fmt.Sprintf("inv%d", l.Node()),
+			[]*network.Node{base}, logic.MustParseCover(1, "0"))
+		inv[l] = d
+		return d, nil
+	}
+	for _, po := range g.pos {
+		d, err := driver(po.Lit)
+		if err != nil {
+			return nil, err
+		}
+		n.AddPO(po.Name, d)
+	}
+	for i, la := range g.latches {
+		d, err := driver(la.Next)
+		if err != nil {
+			return nil, err
+		}
+		lats[i].Driver = d
+	}
+	if err := n.Check(); err != nil {
+		return nil, fmt.Errorf("aig: mapping produced an invalid network: %w", err)
+	}
+	return n, nil
+}
+
+// ttToCover extracts a SOP cover from an m-variable truth table via the
+// Minato-Morreale ISOP recursion (the completely-specified form: cofactor
+// differences get the bound literal, the intersection recurses unbound).
+func ttToCover(tt uint64, m int) *logic.Cover {
+	tt &= onesTT(m)
+	cubes := isop(tt, m, m)
+	c := logic.NewCover(m)
+	for _, cu := range cubes {
+		c.Cubes = append(c.Cubes, cu)
+	}
+	return c
+}
+
+// onesTT is the universal m-variable truth table.
+func onesTT(m int) uint64 {
+	if m >= MaxLutK {
+		return ^uint64(0)
+	}
+	return 1<<(1<<m) - 1
+}
+
+// isop recurses on the highest variable: v-1 is the split variable, nVars
+// the cube width. Tables stay nVars-wide throughout (cofTT replicates the
+// surviving half), so the constant checks are against the full-width mask.
+func isop(tt uint64, v, nVars int) []logic.Cube {
+	if tt == 0 {
+		return nil
+	}
+	if tt == onesTT(nVars) {
+		return []logic.Cube{logic.NewCube(nVars)}
+	}
+	x := v - 1
+	f0 := cofTT(tt, x, false)
+	f1 := cofTT(tt, x, true)
+	var out []logic.Cube
+	for _, cu := range isop(f0&^f1, x, nVars) {
+		cu.SetLit(x, logic.LitNeg)
+		out = append(out, cu)
+	}
+	for _, cu := range isop(f1&^f0, x, nVars) {
+		cu.SetLit(x, logic.LitPos)
+		out = append(out, cu)
+	}
+	out = append(out, isop(f0&f1, x, nVars)...)
+	return out
+}
+
+// cofTT cofactors an m-variable table against variable i, replicating the
+// surviving half into both halves so the result is independent of i.
+func cofTT(tt uint64, i int, pos bool) uint64 {
+	shift := uint(1) << i
+	if pos {
+		t := tt & varMask[i]
+		return t | t>>shift
+	}
+	t := tt &^ varMask[i]
+	return t | t<<shift
+}

@@ -18,6 +18,7 @@ import (
 	"fmt"
 
 	"repro/internal/logic"
+	"repro/internal/ohash"
 )
 
 // Ref is a node reference. 0 and 1 are the terminal constants.
@@ -220,15 +221,11 @@ func (m *Manager) NumVars() int { return m.numVars }
 // Size returns the number of live nodes (including terminals).
 func (m *Manager) Size() int { return len(m.nodes) }
 
-// hash3 is the level-tagged node hash: distinct multiplicative mixes per
-// field, finalized murmur-style. Power-of-two tables only use the low bits,
-// so the finalizer matters.
+// hash3 is the level-tagged node hash. The mix itself lives in
+// internal/ohash so the BDD unique table and the AIG strash table share one
+// probe/hash core and cannot drift.
 func hash3(level int32, lo, hi Ref) uint32 {
-	h := uint32(level)*0x9e3779b1 ^ uint32(lo)*0x85ebca6b ^ uint32(hi)*0xc2b2ae35
-	h ^= h >> 15
-	h *= 0x2c1b3c6d
-	h ^= h >> 13
-	return h
+	return ohash.Mix3(uint32(level), uint32(lo), uint32(hi))
 }
 
 // tombstone marks a deleted unique-table slot. Valid entries are >= 2
@@ -271,15 +268,14 @@ func (m *Manager) finishMigration() {
 // the node is not already present).
 func (m *Manager) insertRef(r Ref) {
 	n := &m.nodes[r]
-	mask := uint32(len(m.table) - 1)
-	i := hash3(n.level, n.lo, n.hi) & mask
-	for m.table[i] != 0 && m.table[i] != tombstone {
-		i = (i + 1) & mask
+	p := ohash.NewProbe(hash3(n.level, n.lo, n.hi), len(m.table))
+	for m.table[p.Slot()] != 0 && m.table[p.Slot()] != tombstone {
+		p.Advance()
 	}
-	if m.table[i] == tombstone {
+	if m.table[p.Slot()] == tombstone {
 		m.tombstones--
 	}
-	m.table[i] = r
+	m.table[p.Slot()] = r
 	m.tabEntries++
 }
 
@@ -288,15 +284,14 @@ func (m *Manager) insertRef(r Ref) {
 // incremental migration first. Used only by level swaps.
 func (m *Manager) deleteRef(r Ref) {
 	n := &m.nodes[r]
-	mask := uint32(len(m.table) - 1)
-	i := hash3(n.level, n.lo, n.hi) & mask
-	for m.table[i] != r {
-		if m.table[i] == 0 {
+	p := ohash.NewProbe(hash3(n.level, n.lo, n.hi), len(m.table))
+	for m.table[p.Slot()] != r {
+		if m.table[p.Slot()] == 0 {
 			panic("bdd: deleteRef of a node not in the unique table")
 		}
-		i = (i + 1) & mask
+		p.Advance()
 	}
-	m.table[i] = tombstone
+	m.table[p.Slot()] = tombstone
 	m.tabEntries--
 	m.tombstones++
 }
@@ -327,8 +322,8 @@ func (m *Manager) mk(level int32, lo, hi Ref) Ref {
 	}
 	m.migrate()
 	h := hash3(level, lo, hi)
-	mask := uint32(len(m.table) - 1)
-	i := h & mask
+	p := ohash.NewProbe(h, len(m.table))
+	i := p.Slot()
 	ins := uint32(1) << 31 // first tombstone on the probe path, if any
 	for {
 		r := m.table[i]
@@ -339,20 +334,20 @@ func (m *Manager) mk(level int32, lo, hi Ref) Ref {
 			if ins == uint32(1)<<31 {
 				ins = i
 			}
-			i = (i + 1) & mask
+			p.Advance()
+			i = p.Slot()
 			continue
 		}
 		n := &m.nodes[r]
 		if n.level == level && n.lo == lo && n.hi == hi {
 			return r
 		}
-		i = (i + 1) & mask
+		p.Advance()
+		i = p.Slot()
 	}
 	if m.old != nil {
-		omask := uint32(len(m.old) - 1)
-		j := h & omask
-		for {
-			r := m.old[j]
+		for q := ohash.NewProbe(h, len(m.old)); ; q.Advance() {
+			r := m.old[q.Slot()]
 			if r == 0 {
 				break
 			}
@@ -362,7 +357,6 @@ func (m *Manager) mk(level int32, lo, hi Ref) Ref {
 					return r
 				}
 			}
-			j = (j + 1) & omask
 		}
 	}
 	if m.MaxNodes > 0 && len(m.nodes) >= m.MaxNodes {
@@ -376,12 +370,12 @@ func (m *Manager) mk(level int32, lo, hi Ref) Ref {
 	m.nodes = append(m.nodes, node{level: level, lo: lo, hi: hi})
 	m.table[i] = r
 	m.tabEntries++
-	// Grow at 3/4 load (tombstones count: they lengthen probe chains just
-	// like live entries). Migration drains far faster than fresh inserts
-	// can refill, so the draining table is always empty well before this
-	// fires again (the grow() drain loop is a safety net, not the common
-	// path).
-	if (m.tabEntries+m.tombstones)*4 >= len(m.table)*3 {
+	// Grow at 3/4 load (ohash.ShouldGrow; tombstones count — they lengthen
+	// probe chains just like live entries). Migration drains far faster
+	// than fresh inserts can refill, so the draining table is always empty
+	// well before this fires again (the grow() drain loop is a safety net,
+	// not the common path).
+	if ohash.ShouldGrow(m.tabEntries, m.tombstones, len(m.table)) {
 		m.grow()
 	}
 	return r

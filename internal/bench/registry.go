@@ -116,6 +116,25 @@ func TableI() []Circuit {
 	}
 }
 
+// Large returns the s38417-class suite: profile-matched synthetics for
+// the big ISCAS'89 circuits the paper could not run ("the method is
+// currently limited by the size of circuits the implicit techniques can
+// handle"). They are deliberately NOT part of TableI(): at tens of
+// thousands of gates the SOP substrate's two-level covers blow past any
+// reasonable pass budget, which is exactly the wall the AIG substrate
+// exists to break — benchflows -aig-bench runs both substrates over this
+// suite and records who finishes.
+func Large() []Circuit {
+	return []Circuit{
+		{"s9234", KindISCASSynthetic, fromProfile(Profile{"s9234", 19, 22, 228, 5597, 9234})},
+		{"s13207", KindISCASSynthetic, fromProfile(Profile{"s13207", 31, 121, 669, 7951, 13207})},
+		{"s15850", KindISCASSynthetic, fromProfile(Profile{"s15850", 14, 87, 597, 9772, 15850})},
+		{"s35932", KindISCASSynthetic, fromProfile(Profile{"s35932", 35, 320, 1728, 16065, 35932})},
+		{"s38417", KindISCASSynthetic, fromProfile(Profile{"s38417", 28, 106, 1636, 22179, 38417})},
+		{"s38584", KindISCASSynthetic, fromProfile(Profile{"s38584", 12, 278, 1452, 19253, 38584})},
+	}
+}
+
 // SmallFSMs returns the embedded machines (used by examples and tests).
 func SmallFSMs() map[string]string {
 	return map[string]string{
@@ -130,9 +149,14 @@ func SmallFSMs() map[string]string {
 	}
 }
 
-// ByName finds a Table I circuit.
+// ByName finds a circuit in the Table I suite or the Large suite.
 func ByName(name string) (Circuit, bool) {
 	for _, c := range TableI() {
+		if c.Name == name {
+			return c, true
+		}
+	}
+	for _, c := range Large() {
 		if c.Name == name {
 			return c, true
 		}

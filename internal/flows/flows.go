@@ -91,6 +91,10 @@ type Config struct {
 	// variable order, reordering). The zero value takes
 	// reach.DefaultLimits.
 	Reach reach.Limits
+	// Substrate selects the technology-independent representation the
+	// flows restructure before mapping: SubstrateSOP (default, also for
+	// "") or SubstrateAIG. See substrate.go.
+	Substrate string
 }
 
 // reachLimits resolves the configured reach limits, defaulting the zero
@@ -165,14 +169,28 @@ func ScriptDelayCtx(ctx context.Context, n *network.Network, lib *genlib.Library
 	defer sp.End()
 	fctx, cancel := cfg.Budget.FlowContext(ctx)
 	defer cancel()
+	if !KnownSubstrate(cfg.Substrate) {
+		return nil, guard.WithClass(
+			fmt.Errorf("flows: unknown substrate %q (have %v)", cfg.Substrate, SubstrateNames()),
+			guard.ErrClassPermanent)
+	}
 	note := ""
-	w, rep := guard.Tx(fctx, "algebraic.optimize", n, cfg.tx(cfg.fault("algebraic.optimize")),
-		func(ctx context.Context, work *network.Network) (*network.Network, int, error) {
-			if err := algebraic.OptimizeDelayCtx(ctx, work, tr); err != nil {
-				return nil, 0, err
-			}
-			return work, 0, nil
-		})
+	optPass := "algebraic.optimize"
+	optFn := func(ctx context.Context, work *network.Network) (*network.Network, int, error) {
+		if err := algebraic.OptimizeDelayCtx(ctx, work, tr); err != nil {
+			return nil, 0, err
+		}
+		return work, 0, nil
+	}
+	if cfg.substrate() == SubstrateAIG {
+		optPass = "aig.restructure"
+		optFn = func(ctx context.Context, work *network.Network) (*network.Network, int, error) {
+			out, err := aigRestructure(work, tr)
+			return out, 0, err
+		}
+	}
+	w, rep := guard.Tx(fctx, optPass, n, cfg.tx(cfg.fault(optPass)),
+		optFn)
 	if !rep.Committed {
 		note = rep.Note
 		// Degraded script: sweep + balanced decomposition still satisfies
@@ -308,7 +326,7 @@ func guardAgainstHarm(input *network.Network, lib *genlib.Library, m *network.Ne
 func remapTx(ctx context.Context, cur, mappedIn *network.Network, lib *genlib.Library, cfg Config, note *string) (m *network.Network, met Metrics, committed bool, err error) {
 	m, rep := guard.Tx(ctx, "remap", cur, cfg.tx(cfg.fault("remap")),
 		func(ctx context.Context, work *network.Network) (*network.Network, int, error) {
-			mm, mmet, rerr := bestRemap(work, lib, cfg.Tracer)
+			mm, mmet, rerr := bestRemap(work, lib, cfg)
 			if rerr != nil {
 				return nil, 0, rerr
 			}
@@ -330,11 +348,13 @@ func remapTx(ctx context.Context, cur, mappedIn *network.Network, lib *genlib.Li
 }
 
 // bestRemap produces the best mapped implementation of a network among
-// (a) full re-optimization + mapping and (b) plain re-decomposition +
-// mapping, compared by clock then area. Re-optimizing an already-mapped
-// netlist is occasionally lossy; keeping the better candidate models the
-// "keep the best implementation seen" discipline of a real flow.
-func bestRemap(n *network.Network, lib *genlib.Library, tr *obs.Tracer) (*network.Network, Metrics, error) {
+// (a) full re-optimization + mapping (through the configured substrate)
+// and (b) plain re-decomposition + mapping, compared by clock then area.
+// Re-optimizing an already-mapped netlist is occasionally lossy; keeping
+// the better candidate models the "keep the best implementation seen"
+// discipline of a real flow.
+func bestRemap(n *network.Network, lib *genlib.Library, cfg Config) (*network.Network, Metrics, error) {
+	tr := cfg.Tracer
 	sp := tr.Begin("remap")
 	defer sp.End()
 	type cand struct {
@@ -343,7 +363,13 @@ func bestRemap(n *network.Network, lib *genlib.Library, tr *obs.Tracer) (*networ
 	}
 	var cands []cand
 	full := n.Clone()
-	if err := algebraic.OptimizeDelayT(full, tr); err == nil {
+	fullErr := error(nil)
+	if cfg.substrate() == SubstrateAIG {
+		full, fullErr = aigRestructure(full, tr)
+	} else {
+		fullErr = algebraic.OptimizeDelayT(full, tr)
+	}
+	if fullErr == nil {
 		if m, err := mapper.MapDelayT(full, lib, tr); err == nil {
 			if met, err := measure(m, lib); err == nil {
 				cands = append(cands, cand{m, met})

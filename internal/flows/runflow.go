@@ -45,6 +45,11 @@ func KnownFlow(name string) bool {
 //
 // An unknown name is reported as an error before any work starts.
 func RunFlow(ctx context.Context, name string, src *network.Network, lib *genlib.Library, cfg Config) (*Result, error) {
+	if !KnownSubstrate(cfg.Substrate) {
+		return nil, guard.WithClass(
+			fmt.Errorf("flows: unknown substrate %q (have %v)", cfg.Substrate, SubstrateNames()),
+			guard.ErrClassPermanent)
+	}
 	switch name {
 	case "script":
 		return ScriptDelayCtx(ctx, src, lib, cfg)

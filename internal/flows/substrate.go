@@ -1,0 +1,82 @@
+package flows
+
+import (
+	"math"
+
+	"repro/internal/aig"
+	"repro/internal/network"
+	"repro/internal/obs"
+)
+
+// The substrate selects the technology-independent representation the
+// flows restructure before mapping. The SOP substrate (the default) is the
+// paper's two-level machinery — exact but bounded by cover minimization
+// cost around the s5378 scale. The AIG substrate routes the restructuring
+// step through internal/aig: structural hashing plus depth-driven balance,
+// which holds two orders of magnitude more gates in the same budget. Both
+// substrates feed the same genlib mapper, so Metrics stay comparable, and
+// the SOP path doubles as the correctness oracle for the AIG path
+// (TestPropertyAigMatchesSOP).
+const (
+	// SubstrateSOP is the sum-of-products network substrate (default).
+	SubstrateSOP = "sop"
+	// SubstrateAIG is the And-Inverter Graph substrate.
+	SubstrateAIG = "aig"
+)
+
+// SubstrateNames reports the accepted Config.Substrate values.
+func SubstrateNames() []string { return []string{SubstrateSOP, SubstrateAIG} }
+
+// KnownSubstrate reports whether name selects a substrate ("" is the
+// default SOP).
+func KnownSubstrate(name string) bool {
+	return name == "" || name == SubstrateSOP || name == SubstrateAIG
+}
+
+// substrate resolves the configured substrate, defaulting to SOP.
+func (c Config) substrate() string {
+	if c.Substrate == "" {
+		return SubstrateSOP
+	}
+	return c.Substrate
+}
+
+// aigRestructure is the AIG substrate's technology-independent
+// optimization: convert, sweep, balance, convert back. The span carries
+// the substrate counters (aig_nodes, aig_strash_hits, aig_levels) that the
+// serving layer's Prometheus bridge exports.
+func aigRestructure(work *network.Network, tr *obs.Tracer) (*network.Network, error) {
+	sp := tr.Begin("aig.restructure")
+	defer sp.End()
+	g, err := aig.FromNetwork(work)
+	if err != nil {
+		return nil, err
+	}
+	g.Sweep()
+	bal := g.Balance()
+	sp.Add("aig_nodes", int64(bal.NumAnds()))
+	sp.Add("aig_strash_hits", g.StrashHits()+bal.StrashHits())
+	sp.Add("aig_levels", int64(bal.Depth()))
+	return bal.ToSubjectNetwork()
+}
+
+// RestructureAIG applies the AIG substrate's technology-independent
+// optimization to work and returns the restructured subject network. It is
+// the pass ScriptDelayCtx runs for Config{Substrate: SubstrateAIG},
+// exported so benchmark harnesses (benchflows -aig-bench) measure exactly
+// the production pass rather than a reimplementation.
+func RestructureAIG(work *network.Network, tr *obs.Tracer) (*network.Network, error) {
+	return aigRestructure(work, tr)
+}
+
+// PeriodClass buckets a mapped clock period into a factor-of-two
+// comparability class: two implementations of the same circuit land in the
+// same class unless one is better than the other by 2x or more. The
+// substrate property test holds both substrates to the same class over the
+// paper registry.
+func PeriodClass(clk float64) int {
+	if clk <= 1 {
+		return 0
+	}
+	return int(math.Floor(math.Log2(clk)))
+}

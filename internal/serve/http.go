@@ -26,7 +26,7 @@ const (
 
 // Handler mounts the service API:
 //
-//	POST /jobs             submit {netlist, format, flow, verify} → JobInfo
+//	POST /jobs             submit {netlist, format, flow, substrate, verify} → JobInfo
 //	GET  /jobs             list jobs
 //	GET  /jobs/{id}        job status + result summary
 //	GET  /jobs/{id}/events live per-pass progress as SSE (replays history)
@@ -236,10 +236,11 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		status = "draining"
 	}
 	resp := map[string]any{
-		"status":  status,
-		"version": s.cfg.Version,
-		"uptime":  time.Since(s.start).String(),
-		"flows":   flows.FlowNames(),
+		"status":     status,
+		"version":    s.cfg.Version,
+		"uptime":     time.Since(s.start).String(),
+		"flows":      flows.FlowNames(),
+		"substrates": flows.SubstrateNames(),
 		"jobs": map[string]int{
 			"queued":  queued,
 			"running": running,

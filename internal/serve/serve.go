@@ -1,9 +1,9 @@
 // Package serve turns the resynthesis flows into a long-running service:
 // POST a netlist and a flow name, get back a content-addressed job id, and
 // follow per-pass progress live over SSE while the job runs on a bounded
-// worker pool. Identical submissions (same netlist bytes, format, flow and
-// verify setting) hash to the same job, so repeats are answered from the
-// result cache without recomputation.
+// worker pool. Identical submissions (same netlist bytes, format, flow,
+// substrate and verify setting) hash to the same job, so repeats are
+// answered from the result cache without recomputation.
 //
 // The package is the glue between the existing layers, not a new engine:
 // jobs execute flows.RunFlow under guard.Budget deadlines on a
@@ -56,6 +56,9 @@ type Request struct {
 	Format string `json:"format,omitempty"`
 	// Flow is one of flows.FlowNames (default "resyn").
 	Flow string `json:"flow,omitempty"`
+	// Substrate selects the technology-independent representation the
+	// flows restructure (flows.SubstrateNames; default "sop").
+	Substrate string `json:"substrate,omitempty"`
 	// Verify requests an equivalence check of the result against the
 	// input (exact when feasible, random simulation otherwise).
 	Verify bool `json:"verify,omitempty"`
@@ -68,6 +71,11 @@ func (r *Request) normalize() {
 	if r.Flow == "" {
 		r.Flow = "resyn"
 	}
+	if r.Substrate == "" {
+		// Normalized before hashing so an explicit "sop" and the default
+		// land on the same job.
+		r.Substrate = flows.SubstrateSOP
+	}
 }
 
 // Key is the content address of the request: the sha256 of every field
@@ -75,7 +83,7 @@ func (r *Request) normalize() {
 // lands on the cached job.
 func (r Request) Key() string {
 	h := sha256.New()
-	fmt.Fprintf(h, "%s\x00%s\x00%v\x00", r.Format, r.Flow, r.Verify)
+	fmt.Fprintf(h, "%s\x00%s\x00%s\x00%v\x00", r.Format, r.Flow, r.Substrate, r.Verify)
 	h.Write([]byte(r.Netlist))
 	return hex.EncodeToString(h.Sum(nil))[:32]
 }
@@ -109,6 +117,9 @@ func (r Request) validate() error {
 	}
 	if !flows.KnownFlow(r.Flow) {
 		return guard.WithClass(fmt.Errorf("serve: unknown flow %q (have %v)", r.Flow, flows.FlowNames()), guard.ErrClassPermanent)
+	}
+	if !flows.KnownSubstrate(r.Substrate) {
+		return guard.WithClass(fmt.Errorf("serve: unknown substrate %q (have %v)", r.Substrate, flows.SubstrateNames()), guard.ErrClassPermanent)
 	}
 	if _, err := r.parse(); err != nil {
 		return guard.WithClass(err, guard.ErrClassPermanent)
@@ -459,9 +470,10 @@ func (s *Server) execute(ctx context.Context, j *Job, tr *obs.Tracer) (*JobResul
 		return nil, "", guard.WithClass(err, guard.ErrClassPermanent)
 	}
 	cfg := flows.Config{
-		Tracer: tr,
-		Budget: s.cfg.Budget,
-		Reach:  s.cfg.Reach,
+		Tracer:    tr,
+		Budget:    s.cfg.Budget,
+		Reach:     s.cfg.Reach,
+		Substrate: j.req.Substrate,
 	}
 	result, err := flows.RunFlow(ctx, j.req.Flow, src, s.lib, cfg)
 	if err != nil {

@@ -332,6 +332,59 @@ func TestServeMetricsAndHealthz(t *testing.T) {
 	}
 }
 
+func TestServeSubstrateAIG(t *testing.T) {
+	_, ts := startServer(t, Config{Workers: 2})
+	src := circuitBLIF(t, "bbtas")
+
+	sop := Request{Netlist: src, Flow: "script", Verify: true}
+	aig := Request{Netlist: src, Flow: "script", Substrate: "aig", Verify: true}
+	if sop.normalized().Key() == aig.normalized().Key() {
+		t.Fatal("substrate must participate in the job content hash")
+	}
+	explicit := Request{Netlist: src, Flow: "script", Substrate: "sop", Verify: true}
+	if sop.normalized().Key() != explicit.normalized().Key() {
+		t.Fatal("explicit sop and the default must hash to the same job")
+	}
+
+	info, status := postJob(t, ts.URL, aig)
+	if status != http.StatusAccepted {
+		t.Fatalf("aig submission status = %d, want 202", status)
+	}
+	final := waitDone(t, ts.URL, info.ID)
+	if final.State != StateDone {
+		t.Fatalf("aig job failed: %+v", final)
+	}
+	if final.Result == nil || final.Result.Verify == "skipped" {
+		t.Fatalf("aig job result not verified: %+v", final.Result)
+	}
+
+	// The substrate counters crossed the per-job tracer's registry bridge
+	// into the Prometheus exposition.
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, err := readAll(resp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		`resyn_counter_total{counter="aig_nodes"}`,
+		`resyn_counter_total{counter="aig_strash_hits"}`,
+		`resyn_counter_total{counter="aig_levels"}`,
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("metrics missing %q", want)
+		}
+	}
+
+	// An unknown substrate is a permanent validation failure.
+	bad := Request{Netlist: src, Flow: "script", Substrate: "bdd"}
+	if _, status := postJob(t, ts.URL, bad); status != http.StatusBadRequest {
+		t.Fatalf("unknown substrate status = %d, want 400", status)
+	}
+}
+
 func TestServeJobFailureIsReported(t *testing.T) {
 	// A pass budget of one nanosecond exhausts immediately: the job must
 	// land in failed with a budget error, not hang or crash.

@@ -61,6 +61,9 @@ type Options struct {
 	// the stream is exactly what a dedicated tracer would emit; the t_ms
 	// stamps are relative to that circuit's own start.
 	JSON io.Writer
+	// Substrate selects the flows' technology-independent representation
+	// (flows.SubstrateSOP or flows.SubstrateAIG; "" is SOP).
+	Substrate string
 }
 
 // Summary reports the aggregate line at the bottom of the table.
@@ -86,6 +89,9 @@ type row struct {
 // reported to errw and counted in Summary.Failures without failing the
 // run (matching the sequential tablegen behaviour).
 func Run(ctx context.Context, w, errw io.Writer, opt Options) (Summary, error) {
+	if !flows.KnownSubstrate(opt.Substrate) {
+		return Summary{}, fmt.Errorf("table: unknown substrate %q (have %v)", opt.Substrate, flows.SubstrateNames())
+	}
 	suite := bench.TableI()
 	if len(opt.Circuits) > 0 {
 		var filtered []bench.Circuit
@@ -187,9 +193,10 @@ func runCircuit(ctx context.Context, c bench.Circuit, lib *genlib.Library, opt O
 	start := time.Now()
 	csp := tr.Begin(c.Name)
 	cfg := flows.Config{
-		Tracer: tr,
-		Budget: opt.Budget,
-		Reach:  opt.Reach,
+		Tracer:    tr,
+		Budget:    opt.Budget,
+		Reach:     opt.Reach,
+		Substrate: opt.Substrate,
 	}
 	sd, ret, rsyn, err := flows.RunAllCtx(ctx, src, lib, cfg)
 	csp.End()
