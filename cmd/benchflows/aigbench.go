@@ -3,10 +3,13 @@ package main
 // The -aig-bench mode: substrate comparison for the technology-independent
 // restructuring step. The SOP substrate's two-level passes (dominated by
 // eliminate's cover substitution) grow superlinearly with circuit size;
-// the AIG substrate (convert + strash + balance) stays near-linear. This
-// mode documents both the raw walls and what that difference means under a
-// guard deadline: which substrate's restructuring pass still commits on
-// the s38417-class suite.
+// the AIG substrate (convert + strash + NPN cut rewriting + balance) stays
+// near-linear. This mode documents the raw walls, what that difference
+// means under a guard deadline (which substrate's restructuring pass still
+// commits on the s38417-class suite), and — new in bench_aig/v2 — the
+// rewrite loop itself: serial vs parallel restructure walls, node/level
+// deltas over the sweep+balance baseline, worker-width determinism, and
+// the mapped clock of base vs rewritten subject networks.
 
 import (
 	"bytes"
@@ -14,18 +17,22 @@ import (
 	"encoding/json"
 	"fmt"
 	"os"
+	"runtime"
 	"strings"
 	"time"
 
 	"repro/internal/aig"
 	"repro/internal/algebraic"
 	"repro/internal/bench"
+	"repro/internal/blif"
 	"repro/internal/flows"
 	"repro/internal/genlib"
 	"repro/internal/guard"
+	"repro/internal/mapper"
 	"repro/internal/network"
 	"repro/internal/obs"
 	"repro/internal/parexec"
+	"repro/internal/timing"
 )
 
 // aigStats describes the structurally hashed AIG built from the source
@@ -71,11 +78,48 @@ type aigGuardReport struct {
 	Note      string  `json:"note,omitempty"`
 }
 
+// aigRewriteReport is the bench_aig/v2 addition: the full restructuring
+// loop (sweep + NPN cut rewriting + balance) measured serial (workers=1)
+// and parallel (workers=4), with the rewriter's own counters, a lowered-
+// netlist determinism check across worker widths, and the mapped clock of
+// the base (sweep+balance only, the v1 pipeline) versus the rewritten
+// result. Gomaxprocs records how many cores the walls were measured on —
+// on a single-core host the parallel wall cannot beat the serial one and
+// the speedup column reads accordingly.
+type aigRewriteReport struct {
+	// Nodes/Levels describe the restructured AIG (after the rewrite loop);
+	// the base sweep+balance numbers live in aigStats.
+	Nodes       int   `json:"nodes"`
+	Levels      int   `json:"levels"`
+	RewriteGain int64 `json:"rewrite_gain"`
+	CutsPruned  int64 `json:"cuts_pruned"`
+	WaveCount   int64 `json:"wave_count"`
+	// SerialMS / ParallelMS are full RestructureAIG walls at workers=1 and
+	// workers=ParallelWorkers; Speedup is serial over parallel.
+	SerialMS        float64 `json:"serial_ms"`
+	ParallelMS      float64 `json:"parallel_ms"`
+	ParallelWorkers int     `json:"parallel_workers"`
+	Speedup         float64 `json:"speedup,omitempty"`
+	Gomaxprocs      int     `json:"gomaxprocs"`
+	// Deterministic reports whether the lowered subject netlists are
+	// byte-identical across worker widths 1, 4, and 8.
+	Deterministic bool `json:"deterministic"`
+	// ClkBase / ClkRewrite are the mapped clock periods of the base and
+	// rewritten subject networks through the shared genlib mapper.
+	// ClkRewrite is the delivered period under the flow's keep-best remap
+	// discipline (flows.bestRemap maps both candidates and keeps the
+	// faster), so it is never worse than ClkBase.
+	ClkBase    float64 `json:"clk_base,omitempty"`
+	ClkRewrite float64 `json:"clk_rewrite,omitempty"`
+	Error      string  `json:"error,omitempty"`
+}
+
 type aigCircuitReport struct {
 	Circuit string                   `json:"circuit"`
 	Gates   int                      `json:"gates"`
 	Latches int                      `json:"latches"`
 	Aig     aigStats                 `json:"aig"`
+	Rewrite aigRewriteReport         `json:"rewrite"`
 	Flows   map[string]aigFlowReport `json:"flows"` // "sop" | "aig"
 	// OptSpeedup is the SOP optimize wall over the AIG restructure wall
 	// inside the script flows — the substrate step alone, excluding the
@@ -107,7 +151,7 @@ func runAigBench(suite []bench.Circuit, lib *genlib.Library, budget guard.Budget
 		os.Exit(1)
 	}
 	rep := aigBenchReport{
-		Schema:   "bench_aig/v1",
+		Schema:   "bench_aig/v2",
 		BudgetMS: float64(guardPass) / float64(time.Millisecond),
 	}
 	for _, cr := range reports {
@@ -125,8 +169,13 @@ func runAigBench(suite []bench.Circuit, lib *genlib.Library, budget guard.Budget
 				}
 				return "DNF"
 			}
-			status = fmt.Sprintf("aig %d ands L%d hits %.2f%%  opt %.1f/%.1fms (%.0fx)  guard sop=%s aig=%s",
-				cr.Aig.Nodes, cr.Aig.Levels, 100*cr.Aig.StrashHitRate,
+			det := "det"
+			if !cr.Rewrite.Deterministic {
+				det = "NONDET"
+			}
+			status = fmt.Sprintf("aig %d->%d ands L%d->%d gain %d  rw %.1f/%.1fms %s  opt %.1f/%.1fms (%.0fx)  guard sop=%s aig=%s",
+				cr.Aig.Nodes, cr.Rewrite.Nodes, cr.Aig.Levels, cr.Rewrite.Levels,
+				cr.Rewrite.RewriteGain, cr.Rewrite.SerialMS, cr.Rewrite.ParallelMS, det,
 				leafSpanMS(cr.Flows[flows.SubstrateSOP].SpanMS, "algebraic.optimize"),
 				leafSpanMS(cr.Flows[flows.SubstrateAIG].SpanMS, "aig.restructure"),
 				cr.OptSpeedup, verdict(cr.GuardSOP), verdict(cr.GuardAIG))
@@ -161,7 +210,9 @@ func aigBenchCircuit(c bench.Circuit, lib *genlib.Library, budget guard.Budget, 
 		cr.Skipped = true
 		return cr
 	}
-	cr.Aig = buildAigStats(src)
+	var baseSubject *network.Network
+	cr.Aig, baseSubject = buildAigStats(src)
+	cr.Rewrite = buildRewriteStats(src, baseSubject, lib)
 	for _, sub := range []string{flows.SubstrateSOP, flows.SubstrateAIG} {
 		cr.Flows[sub] = aigFlowRun(src, lib, budget, sub)
 	}
@@ -173,8 +224,8 @@ func aigBenchCircuit(c bench.Circuit, lib *genlib.Library, budget guard.Budget, 
 			return work, 0, nil
 		})
 	cr.GuardAIG = guardedRestructure(src, "aig.restructure", guardPass,
-		func(_ context.Context, work *network.Network) (*network.Network, int, error) {
-			out, rerr := flows.RestructureAIG(work, nil)
+		func(ctx context.Context, work *network.Network) (*network.Network, int, error) {
+			out, rerr := flows.RestructureAIG(ctx, work, flows.Config{})
 			return out, 0, rerr
 		})
 	sopOpt := leafSpanMS(cr.Flows[flows.SubstrateSOP].SpanMS, "algebraic.optimize")
@@ -190,14 +241,16 @@ func aigBenchCircuit(c bench.Circuit, lib *genlib.Library, budget guard.Budget, 
 }
 
 // buildAigStats measures the AIG construction itself: conversion, sweep,
-// balance and the LUT coverings, without any guard machinery.
-func buildAigStats(src *network.Network) aigStats {
+// balance and the LUT coverings, without any guard machinery. It also
+// returns the lowered sweep+balance subject network — the pre-rewrite
+// baseline the v2 rewrite columns compare against (nil on error).
+func buildAigStats(src *network.Network) (aigStats, *network.Network) {
 	st := aigStats{}
 	start := time.Now()
 	g, err := aig.FromNetwork(src)
 	if err != nil {
 		st.Error = err.Error()
-		return st
+		return st, nil
 	}
 	g.Sweep()
 	bal := g.Balance()
@@ -214,7 +267,94 @@ func buildAigStats(src *network.Network) aigStats {
 	if m, merr := bal.MapForDelay(6); merr == nil {
 		st.Lut6, st.Lut6Depth = m.NumLUTs(), int(m.Depth)
 	}
-	return st
+	subject, serr := bal.ToSubjectNetwork()
+	if serr != nil {
+		st.Error = serr.Error()
+		return st, nil
+	}
+	return st, subject
+}
+
+// buildRewriteStats measures the full restructuring loop at worker widths
+// 1 and 4, checks lowered-netlist determinism against width 8, and maps
+// both the base and rewritten subject networks for the clock comparison.
+func buildRewriteStats(src, baseSubject *network.Network, lib *genlib.Library) aigRewriteReport {
+	rr := aigRewriteReport{Gomaxprocs: runtime.GOMAXPROCS(0), ParallelWorkers: 4}
+	aig.InitLibraries() // keep the one-time NPN table build out of the walls
+	run := func(workers int) (*network.Network, map[string]int64, float64, error) {
+		tr := obs.New()
+		start := time.Now()
+		net, err := flows.RestructureAIG(context.Background(), src,
+			flows.Config{Tracer: tr, Workers: workers})
+		return net, tr.Counters(), sinceMS(start), err
+	}
+	serialNet, cnt, serialMS, err := run(1)
+	if err != nil {
+		rr.Error = err.Error()
+		return rr
+	}
+	rr.SerialMS = serialMS
+	rr.Nodes = int(cnt["aig_nodes"])
+	rr.Levels = int(cnt["aig_levels"])
+	rr.RewriteGain = cnt["aig_rewrite_gain"]
+	rr.CutsPruned = cnt["aig_cuts_pruned"]
+	rr.WaveCount = cnt["aig_wave_count"]
+	parNet, _, parMS, err := run(rr.ParallelWorkers)
+	if err != nil {
+		rr.Error = err.Error()
+		return rr
+	}
+	rr.ParallelMS = parMS
+	if parMS > 0 {
+		rr.Speedup = serialMS / parMS
+	}
+	wideNet, _, _, err := run(8)
+	if err != nil {
+		rr.Error = err.Error()
+		return rr
+	}
+	sb, e1 := loweredBytes(serialNet)
+	pb, e2 := loweredBytes(parNet)
+	wb, e3 := loweredBytes(wideNet)
+	if e1 == nil && e2 == nil && e3 == nil {
+		rr.Deterministic = bytes.Equal(sb, pb) && bytes.Equal(sb, wb)
+	}
+	if baseSubject != nil {
+		if clk, cerr := mappedClk(baseSubject, lib); cerr == nil {
+			rr.ClkBase = clk
+		}
+	}
+	// ClkRewrite mirrors flows.bestRemap's keep-best remap discipline: the
+	// delay flow maps both the restructured and the base candidate and keeps
+	// the faster, so the delivered period is the better of the two mappings.
+	// The mapper is structure-sensitive, so mapping the rewritten network
+	// alone can regress slightly even when nodes and depth both improve.
+	if clk, cerr := mappedClk(serialNet, lib); cerr == nil {
+		rr.ClkRewrite = clk
+		if rr.ClkBase > 0 && rr.ClkBase < rr.ClkRewrite {
+			rr.ClkRewrite = rr.ClkBase
+		}
+	}
+	return rr
+}
+
+// loweredBytes serializes a subject network to BLIF for byte comparison.
+func loweredBytes(n *network.Network) ([]byte, error) {
+	var b bytes.Buffer
+	if err := blif.Write(&b, n); err != nil {
+		return nil, err
+	}
+	return b.Bytes(), nil
+}
+
+// mappedClk maps a subject network through the shared genlib library and
+// reports the mapped clock period.
+func mappedClk(subject *network.Network, lib *genlib.Library) (float64, error) {
+	m, err := mapper.MapDelayT(subject.Clone(), lib, nil)
+	if err != nil {
+		return 0, err
+	}
+	return timing.Period(m, timing.MappedDelay{N: m})
 }
 
 // aigFlowRun executes the script.delay flow on one substrate with a traced

@@ -24,11 +24,16 @@
 // With -aig-bench the command compares the two technology-independent
 // substrates (internal/flows Config.Substrate): every selected circuit —
 // by default Table I plus the s38417-class Large suite — records the AIG
-// build statistics (nodes, strash hit rate, levels, LUT depths), runs the
-// script.delay flow once per substrate with per-pass span walls, and runs
-// the restructuring pass of both substrates under the -aig-budget guard
-// deadline to document which substrate still commits at scale. The result
-// is BENCH_aig.json (schema bench_aig/v1).
+// build statistics (nodes, strash hit rate, levels, LUT depths), the
+// restructuring loop's serial vs parallel walls and rewrite deltas, runs
+// the script.delay flow once per substrate with per-pass span walls, and
+// runs the restructuring pass of both substrates under the -aig-budget
+// guard deadline to document which substrate still commits at scale. The
+// result is BENCH_aig.json (schema bench_aig/v2).
+//
+// -cpuprofile and -memprofile write pprof profiles of the whole run (the
+// same profiles resynd serves behind -debug), for attributing bench walls
+// to passes offline.
 //
 // Usage:
 //
@@ -38,6 +43,7 @@
 //	           [-reach-bench] [-reach-out BENCH_reach.json]
 //	           [-sim-bench] [-sim-out BENCH_sim.json] [-sim-cycles N]
 //	           [-aig-bench] [-aig-out BENCH_aig.json] [-aig-budget 1s]
+//	           [-cpuprofile cpu.pprof] [-memprofile mem.pprof]
 package main
 
 import (
@@ -47,6 +53,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 	"time"
 
@@ -110,11 +118,43 @@ func main() {
 	aigOut := flag.String("aig-out", "BENCH_aig.json", "output JSON file for -aig-bench")
 	aigBudget := flag.Duration("aig-budget", time.Second, "guard pass deadline for the -aig-bench restructuring comparison (0 = unbounded)")
 	metricsOut := flag.String("metrics", "", "write a Prometheus text dump of run metrics to this file")
+	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile of the whole run to this file")
+	memProfile := flag.String("memprofile", "", "write a heap profile (after GC) at exit to this file")
 	version := flag.Bool("version", false, "print version and exit")
 	flag.Parse()
 	if *version {
 		fmt.Println("benchflows", buildinfo.Version())
 		return
+	}
+
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchflows:", err)
+			os.Exit(1)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "benchflows:", err)
+			os.Exit(1)
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		}()
+	}
+	if *memProfile != "" {
+		defer func() {
+			f, err := os.Create(*memProfile)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "benchflows:", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // settle allocations so the profile shows live heap
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, "benchflows:", err)
+			}
+		}()
 	}
 
 	reachLim, err := reach.FlagLimits(reach.DefaultLimits, *partition, *order, *partitionNodes, *reorder)

@@ -5,7 +5,7 @@
 // Usage:
 //
 //	resyn -in circuit.blif [-kiss] [-flow script|retime|resyn|core] [-out out.blif] [-verify]
-//	      [-substrate sop|aig] [-timeout 30s] [-pass-timeout 5s] [-trace] [-stats-json events.jsonl]
+//	      [-substrate sop|aig] [-workers N] [-timeout 30s] [-pass-timeout 5s] [-trace] [-stats-json events.jsonl]
 //	      [-partition on|off] [-order topo|positional] [-partition-nodes N] [-reorder]
 package main
 
@@ -34,6 +34,7 @@ func main() {
 	isKiss := flag.Bool("kiss", false, "input is a KISS2 FSM (binary-encoded)")
 	flow := flag.String("flow", "resyn", "flow: script | retime | resyn | core")
 	substrate := flag.String("substrate", "sop", "technology-independent substrate: sop | aig")
+	workers := flag.Int("workers", 0, "worker pool width for parallel passes (the AIG rewriter); <=0 = GOMAXPROCS. Results are identical at any width")
 	out := flag.String("out", "", "output BLIF file (default: stdout summary only)")
 	verify := flag.Bool("verify", true, "verify the result against the input")
 	trace := flag.Bool("trace", false, "print the span tree with per-pass wall time and counters")
@@ -108,6 +109,7 @@ func main() {
 		Budget:    guard.Budget{Flow: *timeout, Pass: *passTimeout},
 		Reach:     reachLim,
 		Substrate: *substrate,
+		Workers:   *workers,
 	}
 	result, err := flows.RunFlow(ctx, *flow, src, lib, cfg)
 	if err != nil {

@@ -116,6 +116,45 @@ type Graph struct {
 	strash     *ohash.Table
 	strashHits int64
 	nAnds      int
+
+	// fanoutMemo caches FanoutCounts. Derived state like this must be
+	// dropped by every structural mutation — Sweep renumbers nodes, And
+	// appends, SetLatchNext/AddPO change output references — or a later
+	// reader silently sees counts for a graph that no longer exists.
+	// invalidateDerived is the single choke point.
+	fanoutMemo []int32
+}
+
+// invalidateDerived drops memoized derived state (fanout counts). Every
+// mutation of nodes, outputs, or latch wiring funnels through here.
+func (g *Graph) invalidateDerived() {
+	g.fanoutMemo = nil
+}
+
+// FanoutCounts returns, per node, how many times it is referenced: once
+// per AND fanin plus once per combinational output (PO or latch next)
+// pointing at it. The slice is memoized until the next structural
+// mutation; callers must not mutate it.
+func (g *Graph) FanoutCounts() []int32 {
+	if g.fanoutMemo != nil {
+		return g.fanoutMemo
+	}
+	refs := make([]int32, len(g.nodes))
+	for id := int32(1); id < int32(len(g.nodes)); id++ {
+		if g.IsAnd(id) {
+			n := &g.nodes[id]
+			refs[n.f0.Node()]++
+			refs[n.f1.Node()]++
+		}
+	}
+	for _, po := range g.pos {
+		refs[po.Lit.Node()]++
+	}
+	for _, la := range g.latches {
+		refs[la.Next.Node()]++
+	}
+	g.fanoutMemo = refs
+	return refs
 }
 
 // New creates an empty graph holding only the constant node.
@@ -206,15 +245,22 @@ func (g *Graph) AddLatch(name string, init network.Value) Lit {
 }
 
 // SetLatchNext installs the next-state literal of latch i.
-func (g *Graph) SetLatchNext(i int, next Lit) { g.latches[i].Next = next }
+func (g *Graph) SetLatchNext(i int, next Lit) {
+	g.latches[i].Next = next
+	g.invalidateDerived()
+}
 
 // AddPO declares a named combinational output.
-func (g *Graph) AddPO(name string, l Lit) { g.pos = append(g.pos, PO{Name: name, Lit: l}) }
+func (g *Graph) AddPO(name string, l Lit) {
+	g.pos = append(g.pos, PO{Name: name, Lit: l})
+	g.invalidateDerived()
+}
 
 func (g *Graph) newCI() int32 {
 	id := int32(len(g.nodes))
 	g.nodes = append(g.nodes, node{f0: ciMark})
 	g.levels = append(g.levels, 0)
+	g.invalidateDerived()
 	return id
 }
 
@@ -259,7 +305,38 @@ func (g *Graph) And(a, b Lit) Lit {
 	g.levels = append(g.levels, lv+1)
 	g.strash.Insert(h, id)
 	g.nAnds++
+	g.invalidateDerived()
 	return MkLit(id, false)
+}
+
+// FindAnd is the read-only sibling of And: it resolves the conjunction
+// through the same rewrite rules and strash lookup but never creates a
+// node and never mutates the graph (no strashHits accounting, no derived-
+// state invalidation). The rewrite engine's parallel decision phase uses
+// it to price candidate structures against logic the graph already has;
+// read-only is what makes concurrent calls safe.
+func (g *Graph) FindAnd(a, b Lit) (Lit, bool) {
+	switch {
+	case a == False || b == False || a == b.Not():
+		return False, true
+	case a == True:
+		return b, true
+	case b == True || a == b:
+		return a, true
+	}
+	if a > b {
+		a, b = b, a
+	}
+	if r, ok := g.twoLevel(a, b); ok {
+		return r, true
+	}
+	if id, ok := g.strash.Lookup(strashHash(a, b), func(ref int32) bool {
+		n := &g.nodes[ref]
+		return n.f0 == a && n.f1 == b
+	}); ok {
+		return MkLit(id, false), true
+	}
+	return 0, false
 }
 
 // twoLevel resolves And(a, b) against the fanins of a's and b's AND nodes:
@@ -340,16 +417,19 @@ func (g *Graph) outputs() []Lit {
 	return out
 }
 
-// CriticalNodes runs the exact unit-delay arrival/required analysis and
-// returns the AND nodes with zero slack — the nodes on some maximum-depth
-// combinational path — in ascending id order. This is the AIG counterpart
-// of the SOP path's timing.CriticalPath extraction.
-func (g *Graph) CriticalNodes() []int32 {
+// reqInf marks a node no output cone requires (dead logic) in the
+// required-time analysis.
+const reqInf = int32(1) << 30
+
+// requiredTimes runs the exact unit-delay required-time analysis: per
+// node, the latest level at which it may produce its value without
+// stretching the graph's critical path. Unreachable nodes hold reqInf.
+// A node is critical iff required == level (zero slack).
+func (g *Graph) requiredTimes() []int32 {
 	depth := g.Depth()
-	const inf = int32(1) << 30
 	req := make([]int32, len(g.nodes))
 	for i := range req {
-		req[i] = inf
+		req[i] = reqInf
 	}
 	for _, o := range g.outputs() {
 		// Every output is required at the graph depth: an output whose cone
@@ -361,7 +441,7 @@ func (g *Graph) CriticalNodes() []int32 {
 	// Nodes are appended in topological order (fanins precede the node), so
 	// one descending sweep propagates required times exactly.
 	for id := int32(len(g.nodes)) - 1; id > 0; id-- {
-		if !g.IsAnd(id) || req[id] == inf {
+		if !g.IsAnd(id) || req[id] == reqInf {
 			continue
 		}
 		r := req[id] - 1
@@ -372,9 +452,18 @@ func (g *Graph) CriticalNodes() []int32 {
 			req[f] = r
 		}
 	}
+	return req
+}
+
+// CriticalNodes runs the exact unit-delay arrival/required analysis and
+// returns the AND nodes with zero slack — the nodes on some maximum-depth
+// combinational path — in ascending id order. This is the AIG counterpart
+// of the SOP path's timing.CriticalPath extraction.
+func (g *Graph) CriticalNodes() []int32 {
+	req := g.requiredTimes()
 	var crit []int32
 	for id := int32(1); id < int32(len(g.nodes)); id++ {
-		if g.IsAnd(id) && req[id] != inf && req[id] == g.levels[id] {
+		if g.IsAnd(id) && req[id] != reqInf && req[id] == g.levels[id] {
 			crit = append(crit, id)
 		}
 	}
@@ -459,6 +548,7 @@ func (g *Graph) Sweep() int {
 			g.strash.Insert(strashHash(n.f0, n.f1), id)
 		}
 	}
+	g.invalidateDerived()
 	return removed
 }
 

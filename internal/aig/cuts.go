@@ -68,6 +68,12 @@ func (m *Mapping) NumLUTs() int { return len(m.LUTs) }
 // enumeration with exact arrival times forward, then a backward covering
 // pass that materializes the best cut of every needed node. k must be in
 // 2..MaxLutK.
+//
+// Enumeration keeps at most maxCutsPerNode priority cuts per node,
+// inserted directly into a bounded sorted set — candidates are never
+// materialized in full, and the truth-table expansion (the expensive
+// 2^k inner loop) only runs for candidates that survive dominance and
+// rank checks against the current front.
 func (g *Graph) MapForDelay(k int) (*Mapping, error) {
 	if k < 2 || k > MaxLutK {
 		return nil, fmt.Errorf("aig: MapForDelay k=%d out of range 2..%d", k, MaxLutK)
@@ -78,6 +84,7 @@ func (g *Graph) MapForDelay(k int) (*Mapping, error) {
 	trivial := func(id int32, arr int32) cut {
 		return cut{leaves: []int32{id}, tt: varMask[0], arr: arr}
 	}
+	var buf [MaxLutK]int32
 	for id := int32(0); id < int32(n); id++ {
 		if !g.IsAnd(id) {
 			// Constant and CI nodes: only the trivial cut. (The constant's
@@ -87,34 +94,37 @@ func (g *Graph) MapForDelay(k int) (*Mapping, error) {
 			continue
 		}
 		f0, f1 := g.nodes[id].f0, g.nodes[id].f1
-		var cands []cut
+		kept := make([]cut, 0, maxCutsPerNode+1)
 		for _, c0 := range cutsOf[f0.Node()] {
 			for _, c1 := range cutsOf[f1.Node()] {
-				leaves, ok := mergeLeaves(c0.leaves, c1.leaves, k)
+				nl, ok := mergeLeavesInto(c0.leaves, c1.leaves, k, &buf)
 				if !ok {
 					continue
 				}
-				t0 := expandTT(c0.tt, c0.leaves, leaves)
-				if f0.Compl() {
-					t0 = ^t0
-				}
-				t1 := expandTT(c1.tt, c1.leaves, leaves)
-				if f1.Compl() {
-					t1 = ^t1
-				}
+				leaves := buf[:nl]
 				arr := int32(0)
 				for _, l := range leaves {
 					if a := arrival[l]; a >= arr {
 						arr = a
 					}
 				}
-				cands = append(cands, cut{leaves: leaves, tt: t0 & t1, arr: arr + 1})
+				c0, c1, f0, f1 := c0, c1, f0, f1
+				kept = insertBoundedCut(kept, leaves, arr+1, func(ls []int32) uint64 {
+					t0 := expandTT(c0.tt, c0.leaves, ls)
+					if f0.Compl() {
+						t0 = ^t0
+					}
+					t1 := expandTT(c1.tt, c1.leaves, ls)
+					if f1.Compl() {
+						t1 = ^t1
+					}
+					return t0 & t1
+				})
 			}
 		}
-		cands = pruneCuts(cands)
-		arrival[id] = cands[0].arr
+		arrival[id] = kept[0].arr
 		// The trivial cut lets fanouts start a fresh LUT at this node.
-		cutsOf[id] = append(cands, trivial(id, arrival[id]))
+		cutsOf[id] = append(kept, trivial(id, arrival[id]))
 	}
 
 	m := &Mapping{K: k, graph: g}
@@ -145,9 +155,11 @@ func (g *Graph) MapForDelay(k int) (*Mapping, error) {
 	return m, nil
 }
 
-// mergeLeaves unions two sorted leaf sets, failing when the union exceeds k.
-func mergeLeaves(a, b []int32, k int) ([]int32, bool) {
-	out := make([]int32, 0, k)
+// mergeLeavesInto unions two sorted leaf sets into a caller-owned scratch
+// array, failing when the union exceeds k. Writing into scratch keeps the
+// enumeration hot loop allocation-free for rejected candidates.
+func mergeLeavesInto(a, b []int32, k int, buf *[MaxLutK]int32) (int, bool) {
+	n := 0
 	i, j := 0, 0
 	for i < len(a) || j < len(b) {
 		var v int32
@@ -163,12 +175,13 @@ func mergeLeaves(a, b []int32, k int) ([]int32, bool) {
 			i++
 			j++
 		}
-		if len(out) == k {
-			return nil, false
+		if n == k {
+			return 0, false
 		}
-		out = append(out, v)
+		buf[n] = v
+		n++
 	}
-	return out, true
+	return n, true
 }
 
 // expandTT re-expresses a truth table over leaf set from as a table over
@@ -202,34 +215,57 @@ func expandTT(tt uint64, from, to []int32) uint64 {
 	return out
 }
 
-// pruneCuts ranks candidates by (arrival, size), removes duplicates and
-// dominated cuts (a superset leaf set with no better arrival), and keeps
-// the best maxCutsPerNode.
-func pruneCuts(cands []cut) []cut {
-	sort.SliceStable(cands, func(i, j int) bool {
-		if cands[i].arr != cands[j].arr {
-			return cands[i].arr < cands[j].arr
+// cutRankLess is the priority order of the mapper's cut front:
+// (arrival, size, lexicographic leaves) — a total order, so the kept set
+// is identical regardless of candidate enumeration batching.
+func cutRankLess(leaves []int32, arr int32, o *cut) bool {
+	if arr != o.arr {
+		return arr < o.arr
+	}
+	if len(leaves) != len(o.leaves) {
+		return len(leaves) < len(o.leaves)
+	}
+	return lessLeaves(leaves, o.leaves)
+}
+
+// insertBoundedCut considers one candidate (leaves may alias a scratch
+// buffer) against a kept set ordered by cutRankLess, maintaining the
+// invariants the old materialize-then-prune pass established: no kept cut
+// dominates another (subset leaves with no-worse arrival), at most
+// maxCutsPerNode survive, and ties resolve by the total order. ttFn is
+// invoked — and leaves copied — only when the candidate is kept.
+func insertBoundedCut(kept []cut, leaves []int32, arr int32, ttFn func([]int32) uint64) []cut {
+	for i := range kept {
+		if kept[i].arr <= arr && subsetLeaves(kept[i].leaves, leaves) {
+			return kept // dominated (covers exact duplicates too)
 		}
-		if len(cands[i].leaves) != len(cands[j].leaves) {
-			return len(cands[i].leaves) < len(cands[j].leaves)
+	}
+	if len(kept) >= maxCutsPerNode && !cutRankLess(leaves, arr, &kept[len(kept)-1]) {
+		return kept // full and no better than the current worst
+	}
+	// Evict kept cuts the candidate dominates.
+	out := kept[:0]
+	for _, kc := range kept {
+		if arr <= kc.arr && subsetLeaves(leaves, kc.leaves) {
+			continue
 		}
-		return lessLeaves(cands[i].leaves, cands[j].leaves)
-	})
-	kept := cands[:0]
-	for _, c := range cands {
-		dominated := false
-		for _, k := range kept {
-			if k.arr <= c.arr && subsetLeaves(k.leaves, c.leaves) {
-				dominated = true
-				break
-			}
+		out = append(out, kc)
+	}
+	kept = out
+	nc := cut{leaves: append([]int32(nil), leaves...), arr: arr}
+	nc.tt = ttFn(nc.leaves)
+	pos := len(kept)
+	for i := range kept {
+		if cutRankLess(nc.leaves, nc.arr, &kept[i]) {
+			pos = i
+			break
 		}
-		if !dominated {
-			kept = append(kept, c)
-			if len(kept) == maxCutsPerNode {
-				break
-			}
-		}
+	}
+	kept = append(kept, cut{})
+	copy(kept[pos+1:], kept[pos:])
+	kept[pos] = nc
+	if len(kept) > maxCutsPerNode {
+		kept = kept[:maxCutsPerNode]
 	}
 	return kept
 }

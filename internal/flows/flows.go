@@ -95,6 +95,15 @@ type Config struct {
 	// flows restructure before mapping: SubstrateSOP (default, also for
 	// "") or SubstrateAIG. See substrate.go.
 	Substrate string
+	// Workers bounds the worker pool of parallel passes (currently the
+	// AIG substrate's levelized cut rewriter); 0 means GOMAXPROCS. Any
+	// width produces byte-identical results — it is purely a throughput
+	// knob.
+	Workers int
+	// RewriteIters bounds the rewrite+balance iterations of the AIG
+	// substrate's restructuring loop; 0 means DefaultRewriteIters. The
+	// loop also stops early at a fixpoint (no rewrite applied).
+	RewriteIters int
 }
 
 // reachLimits resolves the configured reach limits, defaulting the zero
@@ -185,7 +194,7 @@ func ScriptDelayCtx(ctx context.Context, n *network.Network, lib *genlib.Library
 	if cfg.substrate() == SubstrateAIG {
 		optPass = "aig.restructure"
 		optFn = func(ctx context.Context, work *network.Network) (*network.Network, int, error) {
-			out, err := aigRestructure(work, tr)
+			out, err := aigRestructure(ctx, work, tr, cfg)
 			return out, 0, err
 		}
 	}
@@ -326,7 +335,7 @@ func guardAgainstHarm(input *network.Network, lib *genlib.Library, m *network.Ne
 func remapTx(ctx context.Context, cur, mappedIn *network.Network, lib *genlib.Library, cfg Config, note *string) (m *network.Network, met Metrics, committed bool, err error) {
 	m, rep := guard.Tx(ctx, "remap", cur, cfg.tx(cfg.fault("remap")),
 		func(ctx context.Context, work *network.Network) (*network.Network, int, error) {
-			mm, mmet, rerr := bestRemap(work, lib, cfg)
+			mm, mmet, rerr := bestRemap(ctx, work, lib, cfg)
 			if rerr != nil {
 				return nil, 0, rerr
 			}
@@ -353,7 +362,7 @@ func remapTx(ctx context.Context, cur, mappedIn *network.Network, lib *genlib.Li
 // Re-optimizing an already-mapped netlist is occasionally lossy; keeping
 // the better candidate models the "keep the best implementation seen"
 // discipline of a real flow.
-func bestRemap(n *network.Network, lib *genlib.Library, cfg Config) (*network.Network, Metrics, error) {
+func bestRemap(ctx context.Context, n *network.Network, lib *genlib.Library, cfg Config) (*network.Network, Metrics, error) {
 	tr := cfg.Tracer
 	sp := tr.Begin("remap")
 	defer sp.End()
@@ -365,7 +374,7 @@ func bestRemap(n *network.Network, lib *genlib.Library, cfg Config) (*network.Ne
 	full := n.Clone()
 	fullErr := error(nil)
 	if cfg.substrate() == SubstrateAIG {
-		full, fullErr = aigRestructure(full, tr)
+		full, fullErr = aigRestructure(ctx, full, tr, cfg)
 	} else {
 		fullErr = algebraic.OptimizeDelayT(full, tr)
 	}

@@ -9,8 +9,9 @@
 // Two layers are exported. The primitive layer (Mix3, Probe, ShouldGrow)
 // is for tables with bespoke lifecycles — the BDD unique table keeps its
 // incremental old-table migration and tombstones and composes these
-// directly. The Table layer is a complete insert-only ref table for
-// callers without deletions, such as the AIG strash.
+// directly. The Table layer is a complete ref table for callers with
+// simple lifecycles, such as the AIG strash: inserts, tombstoned deletes
+// with slot reuse, and wholesale Reset.
 package ohash
 
 // Mix3 hashes three 32-bit fields: distinct multiplicative mixes per
@@ -53,20 +54,28 @@ func ShouldGrow(entries, tombstones, buckets int) bool {
 	return (entries+tombstones)*4 >= buckets*3
 }
 
-// Table is a complete insert-only open-addressed table of non-negative
-// int32 refs, keyed by caller-supplied hashes. The caller keeps the keyed
-// data (a ref is typically an index into its own node pool) and supplies
-// hashOf so the table can rehash itself on growth. There are no deletions;
-// callers that invalidate refs wholesale (an AIG sweep renumbering nodes)
+// Table is a complete open-addressed table of non-negative int32 refs,
+// keyed by caller-supplied hashes. The caller keeps the keyed data (a ref
+// is typically an index into its own node pool) and supplies hashOf so the
+// table can rehash itself on growth. Delete leaves a tombstone so probe
+// chains stay intact; Insert reuses the first tombstone on its probe path,
+// so a churn-heavy workload (delete one, insert one, forever) stays at a
+// bounded load factor instead of growing monotonically until rehash.
+// Callers that invalidate refs wholesale (an AIG sweep renumbering nodes)
 // Reset and reinsert.
 type Table struct {
-	slots   []int32 // empty slots hold -1
-	entries int
-	hashOf  func(ref int32) uint32
+	slots      []int32 // empty slots hold -1, tombstones -2
+	entries    int
+	tombstones int
+	hashOf     func(ref int32) uint32
 }
 
-// emptySlot marks an unoccupied bucket. Refs are non-negative.
-const emptySlot = int32(-1)
+// emptySlot marks a never-occupied bucket; deadSlot marks a tombstone left
+// by Delete. Refs are non-negative.
+const (
+	emptySlot = int32(-1)
+	deadSlot  = int32(-2)
+)
 
 // NewTable creates a table sized for at least capHint entries (minimum 1<<8
 // buckets). hashOf must return the same hash Insert was given for the ref.
@@ -83,51 +92,94 @@ func NewTable(capHint int, hashOf func(ref int32) uint32) *Table {
 }
 
 // Lookup probes for a ref whose key matches, per the caller's eq predicate,
-// among refs stored under hash h.
+// among refs stored under hash h. Tombstones are skipped — the chain only
+// terminates at a never-occupied slot.
 func (t *Table) Lookup(h uint32, eq func(ref int32) bool) (int32, bool) {
 	for p := NewProbe(h, len(t.slots)); ; p.Advance() {
 		r := t.slots[p.Slot()]
 		if r == emptySlot {
 			return 0, false
 		}
-		if eq(r) {
+		if r != deadSlot && eq(r) {
 			return r, true
 		}
 	}
 }
 
 // Insert stores ref under hash h. The caller guarantees the ref is not
-// already present (Lookup first). The table doubles per ShouldGrow,
-// rehashing every entry through hashOf.
+// already present (Lookup first). The first tombstone on the probe path is
+// reused; otherwise the ref lands in the terminating empty slot. The table
+// grows per ShouldGrow (tombstones count toward load), rehashing every
+// live entry through hashOf.
 func (t *Table) Insert(h uint32, ref int32) {
-	if ShouldGrow(t.entries+1, 0, len(t.slots)) {
+	if ShouldGrow(t.entries+1, t.tombstones, len(t.slots)) {
 		t.grow()
 	}
-	t.place(h, ref)
+	if t.place(h, ref) {
+		t.tombstones--
+	}
 	t.entries++
 }
 
-// place probes to the first empty slot and stores ref there.
-func (t *Table) place(h uint32, ref int32) {
-	p := NewProbe(h, len(t.slots))
-	for t.slots[p.Slot()] != emptySlot {
-		p.Advance()
+// Delete removes the ref matching eq under hash h, leaving a tombstone so
+// longer probe chains passing through the slot still resolve. It reports
+// whether a matching ref was found.
+func (t *Table) Delete(h uint32, eq func(ref int32) bool) bool {
+	for p := NewProbe(h, len(t.slots)); ; p.Advance() {
+		r := t.slots[p.Slot()]
+		if r == emptySlot {
+			return false
+		}
+		if r != deadSlot && eq(r) {
+			t.slots[p.Slot()] = deadSlot
+			t.entries--
+			t.tombstones++
+			return true
+		}
 	}
-	t.slots[p.Slot()] = ref
 }
 
-// grow doubles the bucket array and reinserts every live ref.
+// place probes to the first tombstone, or failing that the first empty
+// slot, and stores ref there. It reports whether a tombstone was consumed.
+func (t *Table) place(h uint32, ref int32) bool {
+	dead := -1
+	for p := NewProbe(h, len(t.slots)); ; p.Advance() {
+		switch t.slots[p.Slot()] {
+		case deadSlot:
+			if dead < 0 {
+				dead = int(p.Slot())
+			}
+		case emptySlot:
+			if dead >= 0 {
+				t.slots[dead] = ref
+				return true
+			}
+			t.slots[p.Slot()] = ref
+			return false
+		}
+	}
+}
+
+// grow rebuilds the bucket array and reinserts every live ref, dropping
+// all tombstones. It only doubles when the live entries alone justify it;
+// when tombstones pushed the table over the load threshold, a same-size
+// rebuild (compaction) restores headroom without doubling memory.
 func (t *Table) grow() {
 	old := t.slots
-	t.slots = make([]int32, 2*len(old))
+	buckets := len(old)
+	if ShouldGrow(t.entries+1, 0, buckets) {
+		buckets *= 2
+	}
+	t.slots = make([]int32, buckets)
 	for i := range t.slots {
 		t.slots[i] = emptySlot
 	}
 	for _, r := range old {
-		if r != emptySlot {
+		if r >= 0 {
 			t.place(t.hashOf(r), r)
 		}
 	}
+	t.tombstones = 0
 }
 
 // Len returns the number of stored refs.
@@ -144,10 +196,14 @@ func (t *Table) Load() float64 {
 	return float64(t.entries) / float64(len(t.slots))
 }
 
+// Tombstones returns the number of deleted slots awaiting reuse.
+func (t *Table) Tombstones() int { return t.tombstones }
+
 // Reset empties the table, keeping the bucket array.
 func (t *Table) Reset() {
 	for i := range t.slots {
 		t.slots[i] = emptySlot
 	}
 	t.entries = 0
+	t.tombstones = 0
 }

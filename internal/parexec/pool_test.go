@@ -114,6 +114,56 @@ func TestPoolBlockingSubmitDrainsThroughSmallQueue(t *testing.T) {
 	}
 }
 
+// TestPoolQueueFullPanicCancelSameTick drives the three failure modes at
+// once: the single worker is wedged in a task that will panic, the queue
+// slot is held by a second panicking task, and a CloseWait with an
+// already-cancelled context is in flight. The pool must refuse new work
+// (backpressure), report not-drained on the cancelled wait, then contain
+// both panics and drain cleanly once the wedge releases.
+func TestPoolQueueFullPanicCancelSameTick(t *testing.T) {
+	p := NewPool(1, 1)
+	var panics atomic.Int64
+	p.OnPanic = func(any) { panics.Add(1) }
+	entered := make(chan struct{})
+	block := make(chan struct{})
+	p.TrySubmit(func() {
+		close(entered)
+		<-block
+		panic("worker exploded")
+	})
+	<-entered // the worker is now wedged
+	if !p.TrySubmit(func() { panic("queued exploded") }) {
+		t.Fatal("queue slot refused while free")
+	}
+	if p.TrySubmit(func() {}) {
+		t.Fatal("submit accepted with a wedged worker and a full queue")
+	}
+	if p.QueueLen() != 1 || p.Running() != 1 {
+		t.Fatalf("queue=%d running=%d, want 1/1", p.QueueLen(), p.Running())
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if p.CloseWait(ctx) {
+		t.Fatal("CloseWait reported drained under a cancelled context with work in flight")
+	}
+	// CloseWait began the close: submissions must now refuse even though
+	// the queue has drained space pending.
+	if p.TrySubmit(func() {}) {
+		t.Fatal("closing pool accepted work")
+	}
+	close(block)
+	if !p.CloseWait(context.Background()) {
+		t.Fatal("pool did not drain after the wedge released")
+	}
+	if got := panics.Load(); got != 2 {
+		t.Fatalf("contained %d panics, want 2 (worker + queued)", got)
+	}
+	if p.Running() != 0 || p.QueueLen() != 0 {
+		t.Fatalf("running=%d queue=%d after drain, want 0/0", p.Running(), p.QueueLen())
+	}
+	p.Close() // idempotent after CloseWait
+}
+
 func TestPoolCloseWait(t *testing.T) {
 	p := NewPool(1, 4)
 	block := make(chan struct{})

@@ -6,6 +6,7 @@ import (
 	"context"
 	"encoding/json"
 	"fmt"
+	"io"
 	"net/http"
 	"net/http/httptest"
 	"strings"
@@ -125,6 +126,17 @@ func TestServeShedQueueFull(t *testing.T) {
 	}
 	if got := s.mShed.Value(); got != 1 {
 		t.Fatalf("resynd_jobs_shed_total = %v, want 1", got)
+	}
+	// The backpressure counter must reach the Prometheus surface, not just
+	// the in-process registry: operators alert on the scraped series.
+	mresp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	mbody, _ := io.ReadAll(mresp.Body)
+	mresp.Body.Close()
+	if !strings.Contains(string(mbody), "resynd_jobs_shed_total 1") {
+		t.Fatalf("/metrics does not expose the shed counter:\n%s", mbody)
 	}
 	// The shed job must leave the map clean: not listed, not fetchable.
 	if _, ok := s.Job(shedReq.normalized().Key()); ok {

@@ -62,7 +62,19 @@ type Request struct {
 	// Verify requests an equivalence check of the result against the
 	// input (exact when feasible, random simulation otherwise).
 	Verify bool `json:"verify,omitempty"`
+	// Workers bounds the worker pool of parallel passes inside the flows
+	// (the AIG substrate's levelized rewriter); 0 defaults to GOMAXPROCS,
+	// and at most maxRequestWorkers is accepted. Results are byte-identical
+	// at any width, so Workers still participates in the content address —
+	// it changes what the job costs, not what it computes, and a cached
+	// result must answer for the exact request submitted.
+	Workers int `json:"workers,omitempty"`
 }
+
+// maxRequestWorkers caps the per-request worker width: wider than any
+// plausible host, small enough that a hostile request cannot make one job
+// spawn absurd goroutine counts.
+const maxRequestWorkers = 64
 
 func (r *Request) normalize() {
 	if r.Format == "" {
@@ -83,7 +95,7 @@ func (r *Request) normalize() {
 // lands on the cached job.
 func (r Request) Key() string {
 	h := sha256.New()
-	fmt.Fprintf(h, "%s\x00%s\x00%s\x00%v\x00", r.Format, r.Flow, r.Substrate, r.Verify)
+	fmt.Fprintf(h, "%s\x00%s\x00%s\x00%v\x00%d\x00", r.Format, r.Flow, r.Substrate, r.Verify, r.Workers)
 	h.Write([]byte(r.Netlist))
 	return hex.EncodeToString(h.Sum(nil))[:32]
 }
@@ -120,6 +132,9 @@ func (r Request) validate() error {
 	}
 	if !flows.KnownSubstrate(r.Substrate) {
 		return guard.WithClass(fmt.Errorf("serve: unknown substrate %q (have %v)", r.Substrate, flows.SubstrateNames()), guard.ErrClassPermanent)
+	}
+	if r.Workers < 0 || r.Workers > maxRequestWorkers {
+		return guard.WithClass(fmt.Errorf("serve: workers %d out of range 0..%d", r.Workers, maxRequestWorkers), guard.ErrClassPermanent)
 	}
 	if _, err := r.parse(); err != nil {
 		return guard.WithClass(err, guard.ErrClassPermanent)
@@ -474,6 +489,7 @@ func (s *Server) execute(ctx context.Context, j *Job, tr *obs.Tracer) (*JobResul
 		Budget:    s.cfg.Budget,
 		Reach:     s.cfg.Reach,
 		Substrate: j.req.Substrate,
+		Workers:   j.req.Workers,
 	}
 	result, err := flows.RunFlow(ctx, j.req.Flow, src, s.lib, cfg)
 	if err != nil {

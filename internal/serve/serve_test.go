@@ -255,6 +255,8 @@ func TestServeRejectsBadRequests(t *testing.T) {
 		{Netlist: circuitBLIF(t, "s27"), Flow: "nope"},
 		{Netlist: ".i 2\n.o 1\ngarbage", Format: "kiss2"},
 		{Netlist: circuitBLIF(t, "s27"), Format: "verilog"},
+		{Netlist: circuitBLIF(t, "s27"), Flow: "script", Workers: -1},
+		{Netlist: circuitBLIF(t, "s27"), Flow: "script", Workers: maxRequestWorkers + 1},
 	}
 	for i, req := range cases {
 		if _, status := postJob(t, ts.URL, req); status != http.StatusBadRequest {
@@ -345,6 +347,10 @@ func TestServeSubstrateAIG(t *testing.T) {
 	if sop.normalized().Key() != explicit.normalized().Key() {
 		t.Fatal("explicit sop and the default must hash to the same job")
 	}
+	wide := Request{Netlist: src, Flow: "script", Substrate: "aig", Verify: true, Workers: 4}
+	if wide.normalized().Key() == aig.normalized().Key() {
+		t.Fatal("workers must participate in the job content hash")
+	}
 
 	info, status := postJob(t, ts.URL, aig)
 	if status != http.StatusAccepted {
@@ -372,6 +378,9 @@ func TestServeSubstrateAIG(t *testing.T) {
 		`resyn_counter_total{counter="aig_nodes"}`,
 		`resyn_counter_total{counter="aig_strash_hits"}`,
 		`resyn_counter_total{counter="aig_levels"}`,
+		`resyn_counter_total{counter="aig_rewrite_gain"}`,
+		`resyn_counter_total{counter="aig_cuts_pruned"}`,
+		`resyn_counter_total{counter="aig_wave_count"}`,
 	} {
 		if !strings.Contains(body, want) {
 			t.Errorf("metrics missing %q", want)

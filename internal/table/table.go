@@ -39,6 +39,10 @@ type Options struct {
 	// SkipLarge skips circuits with more than 1000 gates.
 	SkipLarge bool
 	// Workers is the parallel evaluation width (<= 0 selects GOMAXPROCS).
+	// The same width is threaded into each circuit's flows.Config as the
+	// intra-pass worker count (the AIG substrate's levelized rewriter);
+	// since both layers produce output independent of width, the table
+	// stays byte-identical for any value.
 	Workers int
 	// ShowTimes appends per-circuit wall time to each row. Off by default:
 	// times break byte-for-byte output stability.
@@ -197,6 +201,7 @@ func runCircuit(ctx context.Context, c bench.Circuit, lib *genlib.Library, opt O
 		Budget:    opt.Budget,
 		Reach:     opt.Reach,
 		Substrate: opt.Substrate,
+		Workers:   opt.Workers,
 	}
 	sd, ret, rsyn, err := flows.RunAllCtx(ctx, src, lib, cfg)
 	csp.End()
