@@ -31,6 +31,14 @@
 // guard deadline to document which substrate still commits at scale. The
 // result is BENCH_aig.json (schema bench_aig/v2).
 //
+// With -sat-bench the command benchmarks SAT-based sequential sweeping
+// against exact reachability: every selected circuit — by default Table I
+// plus the Large suite — is proved equivalent to a clone of itself with
+// both engines, and BENCH_sat.json (schema bench_sat/v1) records per
+// circuit the proved/disproved/unknown class counts, solver conflicts,
+// sweep wall vs reach wall, and the verification verdict, which flips
+// from spot-checked to proved on every row past the 32-latch exact wall.
+//
 // -cpuprofile and -memprofile write pprof profiles of the whole run (the
 // same profiles resynd serves behind -debug), for attributing bench walls
 // to passes offline.
@@ -43,6 +51,7 @@
 //	           [-reach-bench] [-reach-out BENCH_reach.json]
 //	           [-sim-bench] [-sim-out BENCH_sim.json] [-sim-cycles N]
 //	           [-aig-bench] [-aig-out BENCH_aig.json] [-aig-budget 1s]
+//	           [-sat-bench] [-sat-out BENCH_sat.json] [-induction-k K]
 //	           [-cpuprofile cpu.pprof] [-memprofile mem.pprof]
 package main
 
@@ -117,6 +126,9 @@ func main() {
 	aigBench := flag.Bool("aig-bench", false, "benchmark the SOP vs AIG substrate instead of the flows")
 	aigOut := flag.String("aig-out", "BENCH_aig.json", "output JSON file for -aig-bench")
 	aigBudget := flag.Duration("aig-budget", time.Second, "guard pass deadline for the -aig-bench restructuring comparison (0 = unbounded)")
+	satBench := flag.Bool("sat-bench", false, "benchmark SAT-sweep induction proofs vs exact reachability instead of the flows")
+	satOut := flag.String("sat-out", "BENCH_sat.json", "output JSON file for -sat-bench")
+	inductionK := flag.Int("induction-k", 1, "induction depth for -sat-bench proofs")
 	metricsOut := flag.String("metrics", "", "write a Prometheus text dump of run metrics to this file")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile of the whole run to this file")
 	memProfile := flag.String("memprofile", "", "write a heap profile (after GC) at exit to this file")
@@ -164,9 +176,11 @@ func main() {
 	}
 
 	suite := bench.TableI()
-	if *aigBench && *circuitsFlag == "" {
-		// The substrate comparison is about scale: include the s38417-class
-		// suite the SOP substrate was built to avoid.
+	if (*aigBench || *satBench) && *circuitsFlag == "" {
+		// The substrate comparison and the sweep benchmark are about scale:
+		// include the s38417-class suite the SOP substrate was built to
+		// avoid — for -sat-bench these are exactly the rows whose verdict
+		// must flip from spot-checked to proved.
 		suite = append(suite, bench.Large()...)
 	}
 	if *circuitsFlag != "" {
@@ -193,6 +207,10 @@ func main() {
 	}
 	if *aigBench {
 		runAigBench(suite, genlib.Lib2(), budget, *aigBudget, *workers, *skipLarge, *aigOut)
+		return
+	}
+	if *satBench {
+		runSatBench(suite, budget, *workers, *inductionK, *satOut)
 		return
 	}
 

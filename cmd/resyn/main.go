@@ -7,6 +7,7 @@
 //	resyn -in circuit.blif [-kiss] [-flow script|retime|resyn|core] [-out out.blif] [-verify]
 //	      [-substrate sop|aig] [-workers N] [-timeout 30s] [-pass-timeout 5s] [-trace] [-stats-json events.jsonl]
 //	      [-partition on|off] [-order topo|positional] [-partition-nodes N] [-reorder]
+//	      [-sweep] [-induction-k K]
 package main
 
 import (
@@ -46,6 +47,8 @@ func main() {
 	partitionNodes := flag.Int("partition-nodes", 0, "cluster node-size threshold for -partition on (0 = default)")
 	reorder := flag.Bool("reorder", false, "enable dynamic BDD variable reordering (sifting) on node-count blowup")
 	simCycles := flag.Int("sim-cycles", sim.DefaultSpotCheck.CLI.Cycles, "random-simulation cycles for the -verify fallback when the state space is too large for the exact check")
+	sweepOn := flag.Bool("sweep", false, "SAT-based sequential sweeping: prove register equivalences by K-induction when the state space exceeds the exact-reachability limit, both for don't-care extraction and for -verify")
+	inductionK := flag.Int("induction-k", 1, "induction depth for -sweep proofs (1 = simple induction)")
 	metricsOut := flag.String("metrics", "", "write a Prometheus text dump of run metrics to this file")
 	version := flag.Bool("version", false, "print version and exit")
 	flag.Parse()
@@ -105,11 +108,13 @@ func main() {
 	lib := genlib.Lib2()
 	ctx := context.Background()
 	cfg := flows.Config{
-		Tracer:    tr,
-		Budget:    guard.Budget{Flow: *timeout, Pass: *passTimeout},
-		Reach:     reachLim,
-		Substrate: *substrate,
-		Workers:   *workers,
+		Tracer:     tr,
+		Budget:     guard.Budget{Flow: *timeout, Pass: *passTimeout},
+		Reach:      reachLim,
+		Substrate:  *substrate,
+		Workers:    *workers,
+		Sweep:      *sweepOn,
+		InductionK: *inductionK,
 	}
 	result, err := flows.RunFlow(ctx, *flow, src, lib, cfg)
 	if err != nil {
@@ -125,10 +130,19 @@ func main() {
 	}
 
 	if *verify {
-		err := seqverify.Equivalent(src, result.Net, seqverify.Options{Delay: result.PrefixK, Limits: reachLim})
+		verdict, err := seqverify.Check(ctx, src, result.Net, seqverify.Options{
+			Delay:      result.PrefixK,
+			Limits:     reachLim,
+			Sweep:      *sweepOn,
+			InductionK: *inductionK,
+			Workers:    *workers,
+			Tracer:     tr,
+		})
 		switch {
-		case err == nil:
+		case err == nil && verdict == seqverify.VerdictExact:
 			fmt.Println("verify: exact product-machine equivalence PASSED")
+		case err == nil:
+			fmt.Printf("verify: %s PASSED (K-induction over the product state registers)\n", verdict)
 		case errors.Is(err, seqverify.ErrTooLarge):
 			if serr := sim.RandomEquivalent(src, result.Net, result.PrefixK, *simCycles, sim.DefaultSpotCheck.CLI.Seed); serr != nil {
 				fatal(serr)

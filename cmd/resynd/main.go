@@ -16,6 +16,7 @@
 //	       [-timeout 1m] [-pass-timeout 30s] [-debug]
 //	       [-data-dir DIR] [-drain-timeout 30s] [-max-jobs N] [-job-ttl D] [-retries N]
 //	       [-partition on|off] [-order topo|positional] [-partition-nodes N] [-reorder]
+//	       [-sweep] [-induction-k K]
 //
 //	resynd -loadgen [-target http://host:8080] [-qps 2] [-duration 10s]
 //	       [-circuits bbtas,s27,ex6] [-flow resyn] [-loadgen-verify] [-out BENCH_serve.json]
@@ -68,6 +69,8 @@ func main() {
 	partitionNodes := flag.Int("partition-nodes", 0, "cluster node-size threshold for -partition on (0 = default)")
 	reorder := flag.Bool("reorder", false, "enable dynamic BDD variable reordering (sifting) on node-count blowup")
 	simCycles := flag.Int("sim-cycles", sim.DefaultSpotCheck.CLI.Cycles, "random-simulation cycles for the verification fallback")
+	sweepOn := flag.Bool("sweep", false, "default every request to SAT-based sequential sweeping (folded into the job content address)")
+	inductionK := flag.Int("induction-k", 0, "default induction depth for requests that leave induction_k unset (0 = engine default)")
 	version := flag.Bool("version", false, "print version and exit")
 
 	loadgen := flag.Bool("loadgen", false, "run the load generator instead of serving")
@@ -90,16 +93,18 @@ func main() {
 		fatal(err)
 	}
 	cfg := serve.Config{
-		Workers:   *workers,
-		Queue:     *queue,
-		Budget:    guard.Budget{Job: *jobTimeout, Flow: *timeout, Pass: *passTimeout},
-		Reach:     reachLim,
-		SimCycles: *simCycles,
-		Version:   buildinfo.Version(),
-		DataDir:   *dataDir,
-		MaxJobs:   *maxJobs,
-		JobTTL:    *jobTTL,
-		Retry:     serve.RetryPolicy{Max: *retries},
+		Workers:    *workers,
+		Queue:      *queue,
+		Budget:     guard.Budget{Job: *jobTimeout, Flow: *timeout, Pass: *passTimeout},
+		Reach:      reachLim,
+		SimCycles:  *simCycles,
+		Sweep:      *sweepOn,
+		InductionK: *inductionK,
+		Version:    buildinfo.Version(),
+		DataDir:    *dataDir,
+		MaxJobs:    *maxJobs,
+		JobTTL:     *jobTTL,
+		Retry:      serve.RetryPolicy{Max: *retries},
 	}
 
 	if *loadgen {

@@ -14,6 +14,7 @@
 //	         [-times] [-timeout 60s] [-pass-timeout 10s] [-trace]
 //	         [-substrate sop|aig] [-stats-json events.jsonl]
 //	         [-partition on|off] [-order topo|positional] [-partition-nodes N] [-reorder]
+//	         [-sweep] [-induction-k K]
 package main
 
 import (
@@ -45,6 +46,8 @@ func main() {
 	order := flag.String("order", "topo", "BDD variable order: topo | positional")
 	partitionNodes := flag.Int("partition-nodes", 0, "cluster node-size threshold for -partition on (0 = default)")
 	reorder := flag.Bool("reorder", false, "enable dynamic BDD variable reordering (sifting) on node-count blowup")
+	sweepOn := flag.Bool("sweep", false, "SAT-based sequential sweeping: prove register equivalences by K-induction past the exact-reachability limit, for don't-cares and verification")
+	inductionK := flag.Int("induction-k", 1, "induction depth for -sweep proofs (1 = simple induction)")
 	metricsOut := flag.String("metrics", "", "write a Prometheus text dump of run metrics to this file")
 	version := flag.Bool("version", false, "print version and exit")
 	flag.Parse()
@@ -59,13 +62,15 @@ func main() {
 		os.Exit(1)
 	}
 	opt := table.Options{
-		Verify:    *verify,
-		SkipLarge: *skipLarge,
-		Workers:   *workers,
-		ShowTimes: *times,
-		Budget:    guard.Budget{Flow: *timeout, Pass: *passTimeout},
-		Reach:     reachLim,
-		Substrate: *substrate,
+		Verify:     *verify,
+		SkipLarge:  *skipLarge,
+		Workers:    *workers,
+		ShowTimes:  *times,
+		Budget:     guard.Budget{Flow: *timeout, Pass: *passTimeout},
+		Reach:      reachLim,
+		Substrate:  *substrate,
+		Sweep:      *sweepOn,
+		InductionK: *inductionK,
 	}
 	if *circuitsFlag != "" {
 		opt.Circuits = strings.Split(*circuitsFlag, ",")

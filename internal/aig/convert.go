@@ -30,23 +30,8 @@ func FromNetwork(n *network.Network) (*Graph, error) {
 	for _, l := range n.Latches {
 		lits[l.Output] = g.AddLatch(l.Name, l.Init)
 	}
-	order, err := n.TopoOrder()
-	if err != nil {
+	if err := g.buildLogic(n, lits); err != nil {
 		return nil, fmt.Errorf("aig: FromNetwork: %w", err)
-	}
-	for _, v := range order {
-		if v.Kind != network.KindLogic {
-			continue
-		}
-		fanins := make([]Lit, len(v.Fanins))
-		for i, fi := range v.Fanins {
-			fl, ok := lits[fi]
-			if !ok {
-				return nil, fmt.Errorf("aig: FromNetwork: fanin %s of %s not yet built", fi.Name, v.Name)
-			}
-			fanins[i] = fl
-		}
-		lits[v] = g.cover(v.Func, fanins)
 	}
 	for _, po := range n.POs {
 		l, ok := lits[po.Driver]
@@ -63,6 +48,122 @@ func FromNetwork(n *network.Network) (*Graph, error) {
 		g.SetLatchNext(i, l)
 	}
 	return g, nil
+}
+
+// buildLogic factors every logic node of n into g in topological order,
+// extending lits (which must already map every PI and latch output).
+func (g *Graph) buildLogic(n *network.Network, lits map[*network.Node]Lit) error {
+	order, err := n.TopoOrder()
+	if err != nil {
+		return err
+	}
+	for _, v := range order {
+		if v.Kind != network.KindLogic {
+			continue
+		}
+		fanins := make([]Lit, len(v.Fanins))
+		for i, fi := range v.Fanins {
+			fl, ok := lits[fi]
+			if !ok {
+				return fmt.Errorf("fanin %s of %s not yet built", fi.Name, v.Name)
+			}
+			fanins[i] = fl
+		}
+		lits[v] = g.cover(v.Func, fanins)
+	}
+	return nil
+}
+
+// ProductPO pairs the two literals of one name-matched primary output in
+// the joint graph built by FromProduct.
+type ProductPO struct {
+	Name string
+	A, B Lit
+}
+
+// FromProduct builds one structurally hashed AIG containing both machines
+// over shared primary inputs, matched by name with position as the
+// fallback — the same matching seqverify uses. a's latches come first,
+// then b's: graph latch index i < len(a.Latches) is a's latch i and index
+// len(a.Latches)+j is b's latch j. Every PO of a must have a name-matched
+// partner in b; each pair is returned as a literal pair and also added as
+// graph POs "a/<name>" and "b/<name>" so both cones stay alive.
+//
+// Strashing across the two halves is deliberate: structurally identical
+// cones collapse onto one node, which is exactly what makes the product
+// cheap to sweep when b is a resynthesized version of a.
+func FromProduct(a, b *network.Network) (*Graph, []ProductPO, error) {
+	if len(a.PIs) != len(b.PIs) {
+		return nil, nil, fmt.Errorf("aig: FromProduct: PI counts differ (%d vs %d)", len(a.PIs), len(b.PIs))
+	}
+	g := New(a.Name + "*" + b.Name)
+	litsA := make(map[*network.Node]Lit, len(a.Nodes()))
+	litsB := make(map[*network.Node]Lit, len(b.Nodes()))
+	piLits := make([]Lit, len(a.PIs))
+	aPIByName := make(map[string]int, len(a.PIs))
+	for i, pi := range a.PIs {
+		piLits[i] = g.AddPI(pi.Name)
+		litsA[pi] = piLits[i]
+		aPIByName[pi.Name] = i
+	}
+	for i, pi := range b.PIs {
+		j, ok := aPIByName[pi.Name]
+		if !ok {
+			j = i
+		}
+		litsB[pi] = piLits[j]
+	}
+	for _, l := range a.Latches {
+		litsA[l.Output] = g.AddLatch("a/"+l.Name, l.Init)
+	}
+	for _, l := range b.Latches {
+		litsB[l.Output] = g.AddLatch("b/"+l.Name, l.Init)
+	}
+	if err := g.buildLogic(a, litsA); err != nil {
+		return nil, nil, fmt.Errorf("aig: FromProduct: %s: %w", a.Name, err)
+	}
+	if err := g.buildLogic(b, litsB); err != nil {
+		return nil, nil, fmt.Errorf("aig: FromProduct: %s: %w", b.Name, err)
+	}
+	for i, la := range a.Latches {
+		l, ok := litsA[la.Driver]
+		if !ok {
+			return nil, nil, fmt.Errorf("aig: FromProduct: latch %s driver not built", la.Name)
+		}
+		g.SetLatchNext(i, l)
+	}
+	for j, lb := range b.Latches {
+		l, ok := litsB[lb.Driver]
+		if !ok {
+			return nil, nil, fmt.Errorf("aig: FromProduct: latch %s driver not built", lb.Name)
+		}
+		g.SetLatchNext(len(a.Latches)+j, l)
+	}
+	var pairs []ProductPO
+	for _, pa := range a.POs {
+		var pb *network.PO
+		for _, q := range b.POs {
+			if q.Name == pa.Name {
+				pb = q
+				break
+			}
+		}
+		if pb == nil {
+			return nil, nil, fmt.Errorf("aig: FromProduct: PO %q missing in %s", pa.Name, b.Name)
+		}
+		la, ok := litsA[pa.Driver]
+		if !ok {
+			return nil, nil, fmt.Errorf("aig: FromProduct: PO %s driver not built", pa.Name)
+		}
+		lb, ok := litsB[pb.Driver]
+		if !ok {
+			return nil, nil, fmt.Errorf("aig: FromProduct: PO %s driver not built", pb.Name)
+		}
+		g.AddPO("a/"+pa.Name, la)
+		g.AddPO("b/"+pa.Name, lb)
+		pairs = append(pairs, ProductPO{Name: pa.Name, A: la, B: lb})
+	}
+	return g, pairs, nil
 }
 
 // cover factors a SOP cover over the given fanin literals: each cube is a

@@ -152,6 +152,10 @@ func (s *Sim) NumLatches() int { return len(s.latchOutSig) }
 // and logic nodes); each costs two words per Block.
 func (s *Sim) NumSignals() int { return s.nSig }
 
+// LatchSignal returns the signal index of latch i's output in per-signal
+// arrays such as Block.Signature.
+func (s *Sim) LatchSignal(i int) int { return int(s.latchOutSig[i]) }
+
 // Block is 64 lanes of simulation state for one Sim. All buffers are
 // preallocated by NewBlock; Step allocates nothing.
 type Block struct {

@@ -1,0 +1,45 @@
+package bitsim
+
+// Signature hashing: the packed-word digests that turn simulation runs
+// into candidate equivalence classes. Sequential sweeping (internal/sweep)
+// partitions registers and AIG nodes by fingerprint before spending SAT
+// effort on them; any future caller that needs "did these two signals ever
+// see different values" gets the same mixing function instead of
+// re-deriving an ad-hoc digest.
+
+// MixSig folds one dual-rail word pair into a running 64-bit digest. The
+// finalizer is splitmix64's, preceded by distinct odd-constant
+// multiplications of the two planes so that (one, zero) and (zero, one)
+// — a signal and its complement — land on different digests. Equal signal
+// streams produce equal digests by construction; unequal streams collide
+// with probability ~2⁻⁶⁴ per fold.
+func MixSig(acc, one, zero uint64) uint64 {
+	z := acc ^ one*0x9E3779B97F4A7C15 ^ (zero*0xD1B54A32D192ED03)<<1
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	return z ^ (z >> 31)
+}
+
+// Signature returns a fresh 64-bit fingerprint per signal of the block's
+// current dual-rail words. Two signals whose lanes currently agree (and
+// agree on definedness) get identical fingerprints.
+func (b *Block) Signature() []uint64 {
+	sig := make([]uint64, len(b.one))
+	for i := range sig {
+		sig[i] = MixSig(0, b.one[i], b.zero[i])
+	}
+	return sig
+}
+
+// UpdateSignature folds the block's current per-signal words into acc,
+// which must have NumSignals entries (as returned by Signature). Calling
+// it after every Step accumulates a stream fingerprint: signals with equal
+// histories keep equal accumulators.
+func (b *Block) UpdateSignature(acc []uint64) {
+	if len(acc) != len(b.one) {
+		panic("bitsim: UpdateSignature accumulator length mismatch")
+	}
+	for i := range acc {
+		acc[i] = MixSig(acc[i], b.one[i], b.zero[i])
+	}
+}

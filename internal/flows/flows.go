@@ -30,6 +30,7 @@ import (
 	"repro/internal/algebraic"
 	"repro/internal/bitsim"
 	"repro/internal/core"
+	"repro/internal/dontcare"
 	"repro/internal/genlib"
 	"repro/internal/guard"
 	"repro/internal/logic"
@@ -40,6 +41,7 @@ import (
 	"repro/internal/retime"
 	"repro/internal/seqverify"
 	"repro/internal/sim"
+	"repro/internal/sweep"
 	"repro/internal/timing"
 )
 
@@ -104,6 +106,14 @@ type Config struct {
 	// substrate's restructuring loop; 0 means DefaultRewriteIters. The
 	// loop also stops early at a fixpoint (no rewrite applied).
 	RewriteIters int
+	// Sweep enables SAT-based sequential sweeping wherever the state
+	// space exceeds the exact reach limits: verification falls back to
+	// k-induction over the product machine instead of random simulation,
+	// and DC extraction falls back to proven register equivalence
+	// classes applied as DCret (see internal/sweep).
+	Sweep bool
+	// InductionK is the sweeping induction depth (0 means 1).
+	InductionK int
 }
 
 // reachLimits resolves the configured reach limits, defaulting the zero
@@ -283,6 +293,9 @@ func RetimeCombOptCtx(ctx context.Context, mappedIn *network.Network, lib *genli
 		func(ctx context.Context, work *network.Network) (*network.Network, int, error) {
 			a, rerr := reach.AnalyzeCtx(ctx, work, lim, tr)
 			if rerr != nil {
+				if cfg.Sweep && errors.Is(rerr, reach.ErrTooLarge) {
+					return work, 0, applySweepDCs(ctx, work, tr, cfg)
+				}
 				return nil, 0, rerr
 			}
 			st := tr.Begin("apply_unreachable_dcs")
@@ -406,6 +419,81 @@ func bestRemap(ctx context.Context, n *network.Network, lib *genlib.Library, cfg
 		}
 	}
 	return best.net, best.met, nil
+}
+
+// applySweepDCs is the DC extraction beyond the exact-reachability wall:
+// register equivalence classes proven by k-induction (internal/sweep) are
+// installed as DCret classes — the same bookkeeping retiming-induced
+// equivalences use, with the invariant proven instead of known by
+// construction. Every node is first simplified against the (xi ⊕ xj)
+// don't cares of same-class register fanins; remaining fanout of
+// non-representative members is then rewritten onto the class
+// representative, and registers proven stuck at constant 0 are replaced
+// by a constant source, letting Sweep retire the dead registers.
+func applySweepDCs(ctx context.Context, work *network.Network, tr *obs.Tracer, cfg Config) error {
+	st := tr.Begin("sweep.dc_extract")
+	defer st.End()
+	res, err := sweep.Registers(ctx, work, sweep.Options{
+		K:       cfg.InductionK,
+		Workers: cfg.Workers,
+		Tracer:  tr,
+	})
+	if err != nil {
+		return fmt.Errorf("flows: sweep DC extraction: %w", err)
+	}
+	dc := dontcare.New()
+	for _, cls := range res.Classes {
+		lats := make([]*network.Latch, len(cls))
+		for i, li := range cls {
+			lats[i] = work.Latches[li]
+		}
+		dc.AddClass(lats)
+	}
+	improved := 0
+	if dc.NumClasses() > 0 {
+		for _, v := range work.Nodes() {
+			if v.Kind == network.KindLogic && dc.SimplifyNodeLocal(work, v) {
+				improved++
+			}
+		}
+	}
+	dead := map[*network.Latch]bool{}
+	for _, cls := range res.Classes {
+		rep := work.Latches[cls[0]].Output
+		for _, li := range cls[1:] {
+			work.RedirectConsumers(work.Latches[li].Output, rep)
+			dead[work.Latches[li]] = true
+		}
+	}
+	if len(res.Const) > 0 {
+		zero := work.FindNode("sweep_zero")
+		if zero == nil {
+			zero = work.AddConst("sweep_zero", false)
+		}
+		for _, li := range res.Const {
+			work.RedirectConsumers(work.Latches[li].Output, zero)
+			dead[work.Latches[li]] = true
+		}
+	}
+	// Latches are never garbage-collected by Sweep (every register is a
+	// root), so the now-unread members retire explicitly; their private
+	// next-state cones then die in the sweep.
+	var retire []*network.Latch
+	for _, l := range work.Latches {
+		if dead[l] && work.NumFanouts(l.Output) == 0 {
+			retire = append(retire, l)
+		}
+	}
+	for _, l := range retire {
+		work.RemoveLatch(l)
+	}
+	merged := len(retire)
+	if merged > 0 {
+		work.Sweep()
+	}
+	st.Add("dc_nodes_simplified", int64(improved))
+	st.Add("sweep_regs_merged", int64(merged))
+	return nil
 }
 
 // applyUnreachableDCs simplifies every node against the unreachable-state
@@ -554,9 +642,18 @@ func VerifyCtx(ctx context.Context, src *network.Network, r *Result) error {
 
 // VerifyCfg is VerifyCtx with the configuration's reach limits (image
 // partitioning, variable order, latch/node budgets) threaded into the
-// product-machine traversal.
+// product-machine traversal. With cfg.Sweep, circuits beyond the exact
+// limits are proved by k-induction over the product machine; only an
+// inconclusive induction degrades to the random-simulation spot check.
 func VerifyCfg(ctx context.Context, src *network.Network, r *Result, cfg Config) error {
-	err := seqverify.EquivalentCtx(ctx, src, r.Net, seqverify.Options{Delay: r.PrefixK, Limits: cfg.reachLimits()})
+	_, err := seqverify.Check(ctx, src, r.Net, seqverify.Options{
+		Delay:      r.PrefixK,
+		Limits:     cfg.reachLimits(),
+		Sweep:      cfg.Sweep,
+		InductionK: cfg.InductionK,
+		Workers:    cfg.Workers,
+		Tracer:     cfg.Tracer,
+	})
 	if err == nil {
 		return nil
 	}
@@ -567,6 +664,34 @@ func VerifyCfg(ctx context.Context, src *network.Network, r *Result, cfg Config)
 	}
 	return err
 }
+
+// VerifyVerdict is VerifyCfg surfacing how the equivalence was
+// established: seqverify.VerdictExact, seqverify.VerdictInduction, or
+// "spot-checked" when both exact and inductive engines were out of reach
+// and only the random-simulation spot check vouches for the result.
+func VerifyVerdict(ctx context.Context, src *network.Network, r *Result, cfg Config) (string, error) {
+	v, err := seqverify.Check(ctx, src, r.Net, seqverify.Options{
+		Delay:      r.PrefixK,
+		Limits:     cfg.reachLimits(),
+		Sweep:      cfg.Sweep,
+		InductionK: cfg.InductionK,
+		Workers:    cfg.Workers,
+		Tracer:     cfg.Tracer,
+	})
+	if err == nil {
+		return string(v), nil
+	}
+	if errors.Is(err, seqverify.ErrTooLarge) {
+		sc := sim.DefaultSpotCheck.Verify
+		return VerdictSpotChecked, bitsim.RandomEquivalent(src, r.Net, r.PrefixK, sc.Cycles, sc.Seed,
+			bitsim.Options{Tracer: cfg.Tracer})
+	}
+	return "", err
+}
+
+// VerdictSpotChecked marks a result vouched for only by bounded random
+// simulation (see VerifyVerdict).
+const VerdictSpotChecked = "spot-checked"
 
 // RunAll executes the three flows of Table I on one source circuit.
 func RunAll(src *network.Network, lib *genlib.Library) (sd, ret, rsyn *Result, err error) {

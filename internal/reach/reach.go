@@ -103,7 +103,7 @@ func AnalyzeT(n *network.Network, lim Limits, tr *obs.Tracer) (*Analysis, error)
 func AnalyzeCtx(ctx context.Context, n *network.Network, lim Limits, tr *obs.Tracer) (a *Analysis, err error) {
 	L := len(n.Latches)
 	if lim.MaxLatches > 0 && L > lim.MaxLatches {
-		return nil, fmt.Errorf("reach: %d latches exceed the %d-latch limit: %w",
+		return nil, fmt.Errorf("reach: %d latches exceed the %d-latch limit (enable -sweep for SAT-based induction instead of exact reachability): %w",
 			L, lim.MaxLatches, ErrTooLarge)
 	}
 	nv := 2*L + len(n.PIs)

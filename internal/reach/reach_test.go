@@ -151,6 +151,11 @@ func TestLimits(t *testing.T) {
 	if !strings.Contains(err.Error(), "3 latches") {
 		t.Fatalf("latch-limit error lacks the latch count: %v", err)
 	}
+	// Oversized circuits are not a dead end any more: the error must point
+	// the user at the SAT-based sweeping fallback.
+	if !strings.Contains(err.Error(), "-sweep") {
+		t.Fatalf("latch-limit error lacks the -sweep hint: %v", err)
+	}
 	_, err = Analyze(n, Limits{MaxBDDNodes: 8})
 	if !strings.Contains(err.Error(), "BDD nodes") || !strings.Contains(err.Error(), "image steps") {
 		t.Fatalf("node-limit error lacks node/iteration numbers: %v", err)

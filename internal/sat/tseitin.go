@@ -1,0 +1,75 @@
+// Tseitin CNF emission from And-Inverter Graphs. An AIG is already in
+// exactly the shape CNF wants: every AND node c = a∧b becomes the clause
+// triple (¬c∨a)(¬c∨b)(c∨¬a∨¬b), and complemented edges cost nothing — a
+// complement bit on an AIG literal flips the sign bit of the solver
+// literal. One frame of a sequential circuit is therefore NumNodes
+// variables and 3·NumAnds clauses.
+package sat
+
+import "repro/internal/aig"
+
+// Frame encodes one combinational frame of g into s and returns the
+// solver literal of every AIG node (indexed by node id). ci supplies the
+// literal of each combinational input node (PI or latch output) for this
+// frame — that is the only thing distinguishing one frame from the next
+// in an unrolled transition relation. falseLit must be a literal that is
+// constant false in s (see FalseLit).
+func Frame(s *Solver, g *aig.Graph, falseLit Lit, ci func(node int32) Lit) []Lit {
+	n := g.NumNodes()
+	lits := make([]Lit, n)
+	lits[0] = falseLit
+	for id := int32(1); id < int32(n); id++ {
+		if g.IsCI(id) {
+			lits[id] = ci(id)
+			continue
+		}
+		f0, f1 := g.Fanins(id)
+		a := LitOf(lits, f0)
+		b := LitOf(lits, f1)
+		c := Pos(s.NewVar())
+		s.AddClause(c.Not(), a)
+		s.AddClause(c.Not(), b)
+		s.AddClause(c, a.Not(), b.Not())
+		lits[id] = c
+	}
+	return lits
+}
+
+// LitOf maps an AIG edge to its solver literal given the per-node literal
+// table of a frame: the node's literal with the edge's complement folded
+// into the sign bit.
+func LitOf(lits []Lit, l aig.Lit) Lit {
+	out := lits[l.Node()]
+	if l.Compl() {
+		out = out.Not()
+	}
+	return out
+}
+
+// FalseLit allocates a fresh variable constrained to false: the image of
+// the AIG constant node. One per solver is enough; share it across
+// frames.
+func FalseLit(s *Solver) Lit {
+	v := s.NewVar()
+	s.AddClause(Neg(v))
+	return Pos(v)
+}
+
+// XorGate returns a literal d with d ⇔ (a ⊕ b) enforced: the difference
+// literal of a sweep proof obligation, assumed true to ask "can these two
+// signals differ?".
+func XorGate(s *Solver, a, b Lit) Lit {
+	d := Pos(s.NewVar())
+	s.AddClause(d.Not(), a, b)
+	s.AddClause(d.Not(), a.Not(), b.Not())
+	s.AddClause(d, a.Not(), b)
+	s.AddClause(d, a, b.Not())
+	return d
+}
+
+// Equal adds the two clauses forcing a ⇔ b — the class-constraint used
+// for the induction hypothesis frames.
+func Equal(s *Solver, a, b Lit) {
+	s.AddClause(a.Not(), b)
+	s.AddClause(a, b.Not())
+}

@@ -8,6 +8,7 @@ package seqverify
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"sort"
 
@@ -15,7 +16,9 @@ import (
 	"repro/internal/guard"
 	"repro/internal/logic"
 	"repro/internal/network"
+	"repro/internal/obs"
 	"repro/internal/reach"
+	"repro/internal/sweep"
 )
 
 // ErrTooLarge mirrors reach.ErrTooLarge for oversized product machines.
@@ -27,6 +30,58 @@ type Options struct {
 	Delay int
 	// Limits bounds the BDD work; zero-valued fields take reach defaults.
 	Limits reach.Limits
+	// Sweep enables the SAT-based fallback: when the product machine is
+	// too large for exact reachability, Check proves equivalence by
+	// K-induction over simulation-refined equivalence classes instead of
+	// giving up.
+	Sweep bool
+	// InductionK is the induction depth of the sweep fallback (default 1).
+	InductionK int
+	// Workers bounds the sweep's parallel proof shards.
+	Workers int
+	// Tracer receives sweep spans; nil is valid.
+	Tracer *obs.Tracer
+}
+
+// Verdict states how equivalence was established.
+type Verdict string
+
+const (
+	// VerdictExact is a BDD product-machine reachability proof.
+	VerdictExact Verdict = "exact"
+	// VerdictInduction is a SAT-based K-induction proof over the product
+	// AIG — used automatically when exact reachability is too large.
+	VerdictInduction Verdict = "proved-by-induction"
+)
+
+// Check establishes sequential equivalence and reports how: exact BDD
+// reachability when the product fits, otherwise (with opt.Sweep) a
+// K-induction proof on the product AIG. A returned error that matches
+// errors.Is(err, ErrTooLarge) means neither engine could decide — callers
+// may still fall back to simulation-based spot checking. Any other error
+// is a genuine refutation or resource failure.
+func Check(ctx context.Context, a, b *network.Network, opt Options) (Verdict, error) {
+	err := EquivalentCtx(ctx, a, b, opt)
+	if err == nil {
+		return VerdictExact, nil
+	}
+	if !opt.Sweep || !errors.Is(err, ErrTooLarge) {
+		return "", err
+	}
+	_, serr := sweep.ProveEquivalent(ctx, a, b, opt.Delay, sweep.Options{
+		K:       opt.InductionK,
+		Workers: opt.Workers,
+		Tracer:  opt.Tracer,
+	})
+	if serr == nil {
+		return VerdictInduction, nil
+	}
+	if errors.Is(serr, sweep.ErrUnknown) {
+		// Inconclusive, not refuted: keep the ErrTooLarge identity so
+		// callers can still drop to their simulation fallback.
+		return "", fmt.Errorf("seqverify: %v: %w", serr, ErrTooLarge)
+	}
+	return "", fmt.Errorf("seqverify: %w", serr)
 }
 
 type machine struct {

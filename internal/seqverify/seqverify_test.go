@@ -1,8 +1,11 @@
 package seqverify
 
 import (
+	"context"
+	"errors"
 	"testing"
 
+	"repro/internal/bench"
 	"repro/internal/blif"
 	"repro/internal/logic"
 	"repro/internal/network"
@@ -137,5 +140,46 @@ func TestTooLarge(t *testing.T) {
 	m := n.Clone()
 	if err := Equivalent(n, m, Options{Limits: reach.Limits{MaxLatches: 3}}); err != ErrTooLarge {
 		t.Fatalf("latch limit not applied: %v", err)
+	}
+}
+
+// TestCheckProvedByInduction drives the sweep fallback: a 21-register
+// circuit makes the product machine (42 registers) too large for exact
+// reachability, so Check must first fail without Sweep and then prove
+// the clone pair by induction with it.
+func TestCheckProvedByInduction(t *testing.T) {
+	c, ok := bench.ByName("s382")
+	if !ok {
+		t.Fatal("s382 not in registry")
+	}
+	n, err := c.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Check(context.Background(), n, n.Clone(), Options{}); !errors.Is(err, ErrTooLarge) {
+		t.Fatalf("without Sweep: err = %v, want ErrTooLarge", err)
+	}
+	v, err := Check(context.Background(), n, n.Clone(), Options{Sweep: true})
+	if err != nil {
+		t.Fatalf("with Sweep: %v", err)
+	}
+	if v != VerdictInduction {
+		t.Fatalf("verdict = %q, want %q", v, VerdictInduction)
+	}
+}
+
+// TestCheckExactVerdict: small machines keep the exact engine and its
+// verdict.
+func TestCheckExactVerdict(t *testing.T) {
+	n, err := blif.ParseString(cnt2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, err := Check(context.Background(), n, n.Clone(), Options{Sweep: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v != VerdictExact {
+		t.Fatalf("verdict = %q, want %q", v, VerdictExact)
 	}
 }

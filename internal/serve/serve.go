@@ -63,13 +63,27 @@ type Request struct {
 	// input (exact when feasible, random simulation otherwise).
 	Verify bool `json:"verify,omitempty"`
 	// Workers bounds the worker pool of parallel passes inside the flows
-	// (the AIG substrate's levelized rewriter); 0 defaults to GOMAXPROCS,
-	// and at most maxRequestWorkers is accepted. Results are byte-identical
-	// at any width, so Workers still participates in the content address —
-	// it changes what the job costs, not what it computes, and a cached
-	// result must answer for the exact request submitted.
+	// (the AIG substrate's levelized rewriter, the sweep proof shards); 0
+	// defaults to GOMAXPROCS, and at most maxRequestWorkers is accepted.
+	// Results are byte-identical at any width, so Workers still
+	// participates in the content address — it changes what the job costs,
+	// not what it computes, and a cached result must answer for the exact
+	// request submitted.
 	Workers int `json:"workers,omitempty"`
+	// Sweep enables SAT-based sequential sweeping beyond the exact reach
+	// limits: induction-proven register classes feed the DC extraction,
+	// and verification reports "proved-by-induction" instead of degrading
+	// to "simulated".
+	Sweep bool `json:"sweep,omitempty"`
+	// InductionK is the sweeping induction depth (0 means 1, at most
+	// maxInductionK).
+	InductionK int `json:"induction_k,omitempty"`
 }
+
+// maxInductionK caps the k-induction depth: each step unrolls K+1 frames
+// of the transition relation, so a hostile request must not pick the
+// unrolling depth freely.
+const maxInductionK = 8
 
 // maxRequestWorkers caps the per-request worker width: wider than any
 // plausible host, small enough that a hostile request cannot make one job
@@ -95,7 +109,7 @@ func (r *Request) normalize() {
 // lands on the cached job.
 func (r Request) Key() string {
 	h := sha256.New()
-	fmt.Fprintf(h, "%s\x00%s\x00%s\x00%v\x00%d\x00", r.Format, r.Flow, r.Substrate, r.Verify, r.Workers)
+	fmt.Fprintf(h, "%s\x00%s\x00%s\x00%v\x00%d\x00%v\x00%d\x00", r.Format, r.Flow, r.Substrate, r.Verify, r.Workers, r.Sweep, r.InductionK)
 	h.Write([]byte(r.Netlist))
 	return hex.EncodeToString(h.Sum(nil))[:32]
 }
@@ -136,6 +150,9 @@ func (r Request) validate() error {
 	if r.Workers < 0 || r.Workers > maxRequestWorkers {
 		return guard.WithClass(fmt.Errorf("serve: workers %d out of range 0..%d", r.Workers, maxRequestWorkers), guard.ErrClassPermanent)
 	}
+	if r.InductionK < 0 || r.InductionK > maxInductionK {
+		return guard.WithClass(fmt.Errorf("serve: induction_k %d out of range 0..%d", r.InductionK, maxInductionK), guard.ErrClassPermanent)
+	}
 	if _, err := r.parse(); err != nil {
 		return guard.WithClass(err, guard.ErrClassPermanent)
 	}
@@ -159,6 +176,14 @@ type Config struct {
 	// SimCycles bounds the random-simulation verification fallback
 	// (default sim.DefaultSpotCheck.CLI.Cycles).
 	SimCycles int
+	// Sweep turns SAT-based sequential sweeping on for every request that
+	// did not ask for it itself. Applied before content addressing, so the
+	// effective value is what the job key answers for.
+	Sweep bool
+	// InductionK is the sweeping induction depth applied to requests that
+	// left induction_k unset (0 keeps the engine default of 1; capped at
+	// maxInductionK).
+	InductionK int
 	// Version is reported from /healthz.
 	Version string
 
@@ -249,6 +274,9 @@ func New(cfg Config) (*Server, error) {
 	if cfg.CompactEvery == 0 {
 		cfg.CompactEvery = 4096
 	}
+	if cfg.InductionK < 0 || cfg.InductionK > maxInductionK {
+		return nil, fmt.Errorf("serve: config induction depth %d out of range 0..%d", cfg.InductionK, maxInductionK)
+	}
 	cfg.Retry = cfg.Retry.withDefaults()
 	reg := cfg.Registry
 	if reg == nil {
@@ -327,6 +355,15 @@ func unavailable(err error) bool {
 // budget), fixing the poisoned-cache behaviour where one deadline blip
 // made a circuit permanently unserveable.
 func (s *Server) Submit(req Request) (*Job, bool, error) {
+	// Server-wide sweep defaults fold into the request before it is
+	// content-addressed: an inherited default and an explicit ask are the
+	// same job.
+	if s.cfg.Sweep {
+		req.Sweep = true
+	}
+	if req.InductionK == 0 {
+		req.InductionK = s.cfg.InductionK
+	}
 	req.normalize()
 	if err := req.validate(); err != nil {
 		return nil, false, err
@@ -485,11 +522,13 @@ func (s *Server) execute(ctx context.Context, j *Job, tr *obs.Tracer) (*JobResul
 		return nil, "", guard.WithClass(err, guard.ErrClassPermanent)
 	}
 	cfg := flows.Config{
-		Tracer:    tr,
-		Budget:    s.cfg.Budget,
-		Reach:     s.cfg.Reach,
-		Substrate: j.req.Substrate,
-		Workers:   j.req.Workers,
+		Tracer:     tr,
+		Budget:     s.cfg.Budget,
+		Reach:      s.cfg.Reach,
+		Substrate:  j.req.Substrate,
+		Workers:    j.req.Workers,
+		Sweep:      j.req.Sweep,
+		InductionK: j.req.InductionK,
 	}
 	result, err := flows.RunFlow(ctx, j.req.Flow, src, s.lib, cfg)
 	if err != nil {
@@ -505,10 +544,17 @@ func (s *Server) execute(ctx context.Context, j *Job, tr *obs.Tracer) (*JobResul
 	}
 	if j.req.Verify {
 		sp := tr.Begin("serve.verify")
-		verr := seqverify.EquivalentCtx(ctx, src, result.Net, seqverify.Options{Delay: result.PrefixK, Limits: s.cfg.Reach})
+		verdict, verr := seqverify.Check(ctx, src, result.Net, seqverify.Options{
+			Delay:      result.PrefixK,
+			Limits:     s.cfg.Reach,
+			Sweep:      j.req.Sweep,
+			InductionK: j.req.InductionK,
+			Workers:    j.req.Workers,
+			Tracer:     tr,
+		})
 		switch {
 		case verr == nil:
-			res.Verify = "exact"
+			res.Verify = string(verdict)
 		case errors.Is(verr, seqverify.ErrTooLarge):
 			if serr := sim.RandomEquivalent(src, result.Net, result.PrefixK, s.cfg.SimCycles, sim.DefaultSpotCheck.CLI.Seed); serr != nil {
 				sp.End()

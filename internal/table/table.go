@@ -68,6 +68,12 @@ type Options struct {
 	// Substrate selects the flows' technology-independent representation
 	// (flows.SubstrateSOP or flows.SubstrateAIG; "" is SOP).
 	Substrate string
+	// Sweep enables SAT-based sequential sweeping in the flows and in
+	// verification: circuits past the exact-reachability limit are proved
+	// by K-induction instead of being spot-checked.
+	Sweep bool
+	// InductionK is the sweeping induction depth (0 = 1).
+	InductionK int
 }
 
 // Summary reports the aggregate line at the bottom of the table.
@@ -197,11 +203,13 @@ func runCircuit(ctx context.Context, c bench.Circuit, lib *genlib.Library, opt O
 	start := time.Now()
 	csp := tr.Begin(c.Name)
 	cfg := flows.Config{
-		Tracer:    tr,
-		Budget:    opt.Budget,
-		Reach:     opt.Reach,
-		Substrate: opt.Substrate,
-		Workers:   opt.Workers,
+		Tracer:     tr,
+		Budget:     opt.Budget,
+		Reach:      opt.Reach,
+		Substrate:  opt.Substrate,
+		Workers:    opt.Workers,
+		Sweep:      opt.Sweep,
+		InductionK: opt.InductionK,
 	}
 	sd, ret, rsyn, err := flows.RunAllCtx(ctx, src, lib, cfg)
 	csp.End()
